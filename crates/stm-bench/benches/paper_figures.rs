@@ -1,0 +1,252 @@
+//! One Criterion group per figure/table of the paper.
+//!
+//! Each benchmark measures the wall-clock time of one experiment data point
+//! (a workload on an STM configuration) through the same runner the `repro`
+//! binary uses. The goal is not absolute numbers but tracking the *relative*
+//! behaviour of the STMs over time; EXPERIMENTS.md interprets a full run.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rstm::RstmVariant;
+use stm_bench::bench_options;
+use stm_harness::runner::{run_point, Benchmark, CmChoice, RunOptions, StmVariant};
+use stm_workloads::lee::LeeConfig;
+use stm_workloads::rbtree::RbTreeConfig;
+use stm_workloads::stamp::StampApp;
+use stm_workloads::stmbench7::WorkloadMix;
+
+const BENCH_THREADS: usize = 2;
+
+fn options() -> RunOptions {
+    bench_options(BENCH_THREADS)
+}
+
+/// Figure 2: STMBench7 throughput for the four STMs (read-dominated mix).
+fn fig2_stmbench7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_stmbench7_read_dominated");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    for variant in StmVariant::paper_defaults() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.label()),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    run_point(
+                        variant,
+                        &Benchmark::Bench7(WorkloadMix::read_dominated()),
+                        BENCH_THREADS,
+                        &options(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 3: STAMP — SwissTM vs TL2 and TinySTM on a representative subset.
+fn fig3_stamp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_stamp");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    let apps = [StampApp::KmeansHigh, StampApp::Intruder, StampApp::VacationHigh, StampApp::Yada];
+    let variants = [
+        StmVariant::Swiss(CmChoice::Default),
+        StmVariant::Tl2(CmChoice::Default),
+        StmVariant::Tiny(CmChoice::Default),
+    ];
+    for app in apps {
+        for variant in variants {
+            let id = BenchmarkId::new(app.label(), variant.label());
+            group.bench_function(id, |b| {
+                b.iter(|| run_point(variant, &Benchmark::Stamp(app), BENCH_THREADS, &options()));
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Figure 4: Lee-TM (memory board) execution time.
+fn fig4_lee(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_lee_memory");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    let variants = [
+        StmVariant::Swiss(CmChoice::Default),
+        StmVariant::Tiny(CmChoice::Default),
+        StmVariant::Rstm(RstmVariant::eager_invisible(), CmChoice::Default),
+    ];
+    for variant in variants {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.label()),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    run_point(
+                        variant,
+                        &Benchmark::Lee(LeeConfig::memory_board()),
+                        BENCH_THREADS,
+                        &options(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 5: red-black tree microbenchmark throughput.
+fn fig5_rbtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_rbtree");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    for variant in StmVariant::paper_defaults() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.label()),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    run_point(
+                        variant,
+                        &Benchmark::RbTree(RbTreeConfig::small()),
+                        BENCH_THREADS,
+                        &options(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figures 7/8: conflict-detection ablation — eager (TinySTM) vs lazy (TL2)
+/// vs mixed (SwissTM) on the irregular Lee-TM workload.
+fn fig7_8_conflict_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_8_irregular_lee");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    for ratio in [0u64, 20] {
+        for variant in [
+            StmVariant::Swiss(CmChoice::Default),
+            StmVariant::Tiny(CmChoice::Default),
+        ] {
+            let id = BenchmarkId::new(variant.label(), format!("R={ratio}%"));
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    run_point(
+                        variant,
+                        &Benchmark::Lee(LeeConfig::tiny().with_irregular_updates(ratio)),
+                        BENCH_THREADS,
+                        &options(),
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Figures 9/10/12, Table 1: contention-manager ablation on SwissTM and
+/// RSTM.
+fn fig9_12_contention_managers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_12_contention_managers");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    let variants = [
+        StmVariant::Swiss(CmChoice::TwoPhase),
+        StmVariant::Swiss(CmChoice::Timid),
+        StmVariant::Swiss(CmChoice::Greedy),
+        StmVariant::Rstm(RstmVariant::eager_invisible(), CmChoice::Polka),
+        StmVariant::Rstm(RstmVariant::eager_invisible(), CmChoice::Greedy),
+    ];
+    for variant in variants {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.label()),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    run_point(
+                        variant,
+                        &Benchmark::Bench7(WorkloadMix::read_write()),
+                        BENCH_THREADS,
+                        &options(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 11: back-off vs no back-off on the intruder hot spot.
+fn fig11_backoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_backoff_intruder");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    for variant in [
+        StmVariant::Swiss(CmChoice::TwoPhase),
+        StmVariant::Swiss(CmChoice::TwoPhaseNoBackoff),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.label()),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    run_point(
+                        variant,
+                        &Benchmark::Stamp(StampApp::Intruder),
+                        BENCH_THREADS,
+                        &options(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 13 / Table 2: lock-granularity ablation on the red-black tree.
+fn fig13_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_lock_granularity");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    for grain_shift in [0u32, 1, 3, 5] {
+        let id = BenchmarkId::from_parameter(format!("{}B", 8u32 << grain_shift));
+        group.bench_function(id, |b| {
+            let options = options().with_grain_shift(grain_shift);
+            b.iter(|| {
+                run_point(
+                    StmVariant::Swiss(CmChoice::Default),
+                    &Benchmark::RbTree(RbTreeConfig::small()),
+                    BENCH_THREADS,
+                    &options,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    paper_figures,
+    fig2_stmbench7,
+    fig3_stamp,
+    fig4_lee,
+    fig5_rbtree,
+    fig7_8_conflict_detection,
+    fig9_12_contention_managers,
+    fig11_backoff,
+    fig13_granularity
+);
+criterion_main!(paper_figures);

@@ -1,0 +1,79 @@
+//! Microbenchmarks of the raw STM primitives (single-threaded).
+//!
+//! These track the per-operation overheads of the four algorithms: the
+//! effect the paper discusses for the single-thread red-black tree numbers
+//! (SwissTM pays for its two locks per stripe, RSTM for its object
+//! metadata).
+
+use std::sync::Arc;
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rstm::Rstm;
+use stm_core::config::StmConfig;
+use stm_core::tm::{ThreadContext, TmAlgorithm};
+use swisstm::SwissTm;
+use tinystm::TinyStm;
+use tl2::Tl2;
+
+fn config() -> StmConfig {
+    StmConfig::small()
+}
+
+fn bench_algorithm<A: TmAlgorithm>(c: &mut Criterion, group_name: &str, stm: Arc<A>) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    let block = stm.heap().alloc_zeroed(64).expect("heap exhausted");
+    let mut ctx = ThreadContext::register(Arc::clone(&stm));
+
+    group.bench_function(BenchmarkId::from_parameter("read_8_words"), |b| {
+        b.iter(|| {
+            ctx.atomically(|tx| {
+                let mut sum = 0;
+                for i in 0..8 {
+                    sum += tx.read(block.offset(i))?;
+                }
+                Ok(sum)
+            })
+            .unwrap()
+        });
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("write_8_words"), |b| {
+        b.iter(|| {
+            ctx.atomically(|tx| {
+                for i in 0..8 {
+                    tx.write(block.offset(i), i as u64)?;
+                }
+                Ok(())
+            })
+            .unwrap()
+        });
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("read_modify_write"), |b| {
+        b.iter(|| {
+            ctx.atomically(|tx| {
+                let v = tx.read(block)?;
+                tx.write(block, v + 1)
+            })
+            .unwrap()
+        });
+    });
+
+    group.finish();
+}
+
+fn primitives(c: &mut Criterion) {
+    bench_algorithm(c, "primitives_swisstm", Arc::new(SwissTm::with_config(config())));
+    bench_algorithm(c, "primitives_tl2", Arc::new(Tl2::with_config(config())));
+    bench_algorithm(c, "primitives_tinystm", Arc::new(TinyStm::with_config(config())));
+    bench_algorithm(c, "primitives_rstm", Arc::new(Rstm::with_config(config())));
+}
+
+criterion_group!(stm_primitives, primitives);
+criterion_main!(stm_primitives);

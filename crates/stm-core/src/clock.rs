@@ -1,0 +1,399 @@
+//! Global clocks and the thread registry.
+//!
+//! * [`GlobalClock`] is the shared monotonically increasing counter used as
+//!   the commit timestamp (`commit-ts` in the paper) and as the Greedy
+//!   contention-manager clock (`greedy-ts`).
+//! * [`ThreadRegistry`] hands out [`ThreadSlot`]s and stores one shared
+//!   [`TxShared`] record per slot. Contention managers use these records to
+//!   inspect and signal *other* transactions (e.g. Greedy aborting a
+//!   victim), which is how the reproduction expresses the paper's
+//!   `abort(lock-owner)` without raw pointers.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::error::StmError;
+
+/// A shared monotonically increasing 64-bit counter.
+///
+/// Used both as the global commit counter (`commit-ts`) and, with a separate
+/// instance, as the Greedy timestamp source (`greedy-ts`).
+#[derive(Debug, Default)]
+pub struct GlobalClock {
+    value: AtomicU64,
+}
+
+impl GlobalClock {
+    /// Creates a clock starting at zero.
+    pub fn new() -> Self {
+        GlobalClock {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Reads the current clock value.
+    #[inline]
+    pub fn read(&self) -> u64 {
+        self.value.load(Ordering::Acquire)
+    }
+
+    /// Atomically increments the clock and returns the *new* value
+    /// (`increment&get` in the paper's pseudo-code).
+    #[inline]
+    pub fn increment_and_get(&self) -> u64 {
+        self.value.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Atomically advances the clock to at least `target` and returns the
+    /// resulting value. Used by TL2-style GV clocks when adopting a
+    /// timestamp observed elsewhere.
+    pub fn advance_to(&self, target: u64) -> u64 {
+        let mut current = self.value.load(Ordering::Acquire);
+        while current < target {
+            match self.value.compare_exchange_weak(
+                current,
+                target,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return target,
+                Err(observed) => current = observed,
+            }
+        }
+        current
+    }
+}
+
+/// Sentinel meaning "no Greedy timestamp yet" (the paper's `∞`).
+pub const CM_TS_INFINITY: u64 = u64::MAX;
+
+/// Transaction status values stored in [`TxShared::status`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxStatus {
+    /// No transaction is currently running in this slot.
+    Idle,
+    /// A transaction attempt is executing.
+    Active,
+    /// The transaction is in its commit sequence.
+    Committing,
+    /// The last attempt was aborted and has not been restarted yet.
+    Aborted,
+}
+
+impl TxStatus {
+    fn from_u64(v: u64) -> TxStatus {
+        match v {
+            0 => TxStatus::Idle,
+            1 => TxStatus::Active,
+            2 => TxStatus::Committing,
+            _ => TxStatus::Aborted,
+        }
+    }
+
+    fn as_u64(self) -> u64 {
+        match self {
+            TxStatus::Idle => 0,
+            TxStatus::Active => 1,
+            TxStatus::Committing => 2,
+            TxStatus::Aborted => 3,
+        }
+    }
+}
+
+/// Per-thread state that must be visible to *other* threads.
+///
+/// Everything a contention manager may need to know about a foreign
+/// transaction lives here: its Greedy/two-phase timestamp, its Polka
+/// priority, whether somebody asked it to abort, and how many times it has
+/// aborted in a row (for back-off).
+#[derive(Debug)]
+pub struct TxShared {
+    /// The owning thread slot (index into the registry).
+    slot: ThreadSlot,
+    /// Contention-manager timestamp (`cm-ts`); [`CM_TS_INFINITY`] means the
+    /// transaction is still in the first (timid) phase.
+    cm_ts: AtomicU64,
+    /// Polka/Karma-style priority: number of locations accessed so far.
+    priority: AtomicU64,
+    /// Set by an attacker that decided to abort this transaction.
+    abort_requested: AtomicBool,
+    /// Number of successive aborts of the current transaction (reset on
+    /// commit); drives randomized linear back-off.
+    successive_aborts: AtomicU64,
+    /// Coarse transaction status, used by visible-reader style algorithms.
+    status: AtomicU64,
+}
+
+impl TxShared {
+    fn new(slot: ThreadSlot) -> Self {
+        TxShared {
+            slot,
+            cm_ts: AtomicU64::new(CM_TS_INFINITY),
+            priority: AtomicU64::new(0),
+            abort_requested: AtomicBool::new(false),
+            successive_aborts: AtomicU64::new(0),
+            status: AtomicU64::new(TxStatus::Idle.as_u64()),
+        }
+    }
+
+    /// The thread slot this record belongs to.
+    pub fn slot(&self) -> ThreadSlot {
+        self.slot
+    }
+
+    /// Current contention-manager timestamp ([`CM_TS_INFINITY`] if unset).
+    #[inline]
+    pub fn cm_ts(&self) -> u64 {
+        self.cm_ts.load(Ordering::Acquire)
+    }
+
+    /// Sets the contention-manager timestamp.
+    #[inline]
+    pub fn set_cm_ts(&self, ts: u64) {
+        self.cm_ts.store(ts, Ordering::Release);
+    }
+
+    /// Current Polka-style priority.
+    #[inline]
+    pub fn priority(&self) -> u64 {
+        self.priority.load(Ordering::Relaxed)
+    }
+
+    /// Sets the Polka-style priority.
+    #[inline]
+    pub fn set_priority(&self, p: u64) {
+        self.priority.store(p, Ordering::Relaxed);
+    }
+
+    /// Increments the Polka-style priority by one.
+    #[inline]
+    pub fn bump_priority(&self) {
+        self.priority.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests that the owning transaction aborts itself at its next
+    /// transactional operation.
+    #[inline]
+    pub fn request_abort(&self) {
+        self.abort_requested.store(true, Ordering::Release);
+    }
+
+    /// Returns `true` if some other transaction requested an abort.
+    #[inline]
+    pub fn abort_requested(&self) -> bool {
+        self.abort_requested.load(Ordering::Acquire)
+    }
+
+    /// Clears the abort request flag (called when a new attempt starts).
+    #[inline]
+    pub fn clear_abort_request(&self) {
+        self.abort_requested.store(false, Ordering::Release);
+    }
+
+    /// Number of successive aborts of the currently running transaction.
+    #[inline]
+    pub fn successive_aborts(&self) -> u64 {
+        self.successive_aborts.load(Ordering::Relaxed)
+    }
+
+    /// Records one more abort and returns the updated count.
+    #[inline]
+    pub fn record_abort(&self) -> u64 {
+        self.successive_aborts.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Resets the successive abort counter (on commit).
+    #[inline]
+    pub fn reset_aborts(&self) {
+        self.successive_aborts.store(0, Ordering::Relaxed);
+    }
+
+    /// Current coarse status.
+    pub fn status(&self) -> TxStatus {
+        TxStatus::from_u64(self.status.load(Ordering::Acquire))
+    }
+
+    /// Publishes a new coarse status.
+    pub fn set_status(&self, status: TxStatus) {
+        self.status.store(status.as_u64(), Ordering::Release);
+    }
+}
+
+/// Identifier of a registered thread (a dense index starting at zero).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadSlot(usize);
+
+impl ThreadSlot {
+    /// Creates a slot from a raw index. Mostly useful in tests.
+    pub const fn new(index: usize) -> Self {
+        ThreadSlot(index)
+    }
+
+    /// The raw slot index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ThreadSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Maximum number of threads a single STM instance supports.
+///
+/// The bound exists because visible-reader bitmaps (used by the RSTM
+/// baseline) store one bit per thread in a single word.
+pub const MAX_THREADS: usize = 64;
+
+/// Registry of per-thread shared records.
+#[derive(Debug)]
+pub struct ThreadRegistry {
+    slots: Vec<Arc<TxShared>>,
+    next: AtomicUsize,
+}
+
+impl ThreadRegistry {
+    /// Creates a registry with capacity for [`MAX_THREADS`] threads.
+    pub fn new() -> Self {
+        let slots = (0..MAX_THREADS)
+            .map(|i| Arc::new(TxShared::new(ThreadSlot(i))))
+            .collect();
+        ThreadRegistry {
+            slots,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Registers the calling thread and returns its slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StmError::TooManyThreads`] once [`MAX_THREADS`] slots have
+    /// been handed out.
+    pub fn register(&self) -> Result<ThreadSlot, StmError> {
+        let idx = self.next.fetch_add(1, Ordering::AcqRel);
+        if idx >= MAX_THREADS {
+            return Err(StmError::TooManyThreads { max: MAX_THREADS });
+        }
+        Ok(ThreadSlot(idx))
+    }
+
+    /// Number of slots handed out so far.
+    pub fn registered(&self) -> usize {
+        self.next.load(Ordering::Acquire).min(MAX_THREADS)
+    }
+
+    /// Shared record for `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn shared(&self, slot: ThreadSlot) -> &Arc<TxShared> {
+        &self.slots[slot.index()]
+    }
+
+    /// Iterates over the shared records of all slots handed out so far.
+    pub fn iter_registered(&self) -> impl Iterator<Item = &Arc<TxShared>> {
+        self.slots.iter().take(self.registered())
+    }
+}
+
+impl Default for ThreadRegistry {
+    fn default() -> Self {
+        ThreadRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_increments() {
+        let c = GlobalClock::new();
+        assert_eq!(c.read(), 0);
+        assert_eq!(c.increment_and_get(), 1);
+        assert_eq!(c.increment_and_get(), 2);
+        assert_eq!(c.read(), 2);
+    }
+
+    #[test]
+    fn clock_advance_to_is_monotone() {
+        let c = GlobalClock::new();
+        assert_eq!(c.advance_to(10), 10);
+        assert_eq!(c.advance_to(5), 10);
+        assert_eq!(c.read(), 10);
+    }
+
+    #[test]
+    fn registry_hands_out_dense_slots() {
+        let r = ThreadRegistry::new();
+        let a = r.register().unwrap();
+        let b = r.register().unwrap();
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(r.registered(), 2);
+        assert_eq!(r.shared(a).slot(), a);
+    }
+
+    #[test]
+    fn registry_rejects_too_many_threads() {
+        let r = ThreadRegistry::new();
+        for _ in 0..MAX_THREADS {
+            r.register().unwrap();
+        }
+        assert!(matches!(
+            r.register(),
+            Err(StmError::TooManyThreads { .. })
+        ));
+    }
+
+    #[test]
+    fn tx_shared_flags_round_trip() {
+        let r = ThreadRegistry::new();
+        let slot = r.register().unwrap();
+        let shared = r.shared(slot);
+        assert_eq!(shared.cm_ts(), CM_TS_INFINITY);
+        shared.set_cm_ts(7);
+        assert_eq!(shared.cm_ts(), 7);
+
+        assert!(!shared.abort_requested());
+        shared.request_abort();
+        assert!(shared.abort_requested());
+        shared.clear_abort_request();
+        assert!(!shared.abort_requested());
+
+        assert_eq!(shared.record_abort(), 1);
+        assert_eq!(shared.record_abort(), 2);
+        shared.reset_aborts();
+        assert_eq!(shared.successive_aborts(), 0);
+
+        shared.set_status(TxStatus::Committing);
+        assert_eq!(shared.status(), TxStatus::Committing);
+
+        shared.set_priority(3);
+        shared.bump_priority();
+        assert_eq!(shared.priority(), 4);
+    }
+
+    #[test]
+    fn clock_is_shared_across_threads() {
+        let c = Arc::new(GlobalClock::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.increment_and_get();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.read(), 4000);
+    }
+}

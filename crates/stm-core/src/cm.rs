@@ -1,0 +1,642 @@
+//! Contention managers.
+//!
+//! A contention manager decides what happens when a transaction (the
+//! *attacker*) conflicts with another transaction (the *victim*, usually the
+//! current owner of a write lock). The paper evaluates several policies
+//! (Section 2.1 and Section 5) and contributes the **two-phase** manager
+//! used by SwissTM (Algorithm 2). All of them are provided here so that the
+//! Figure 9/10/12 and Table 1 experiments can mix and match managers and
+//! STM algorithms:
+//!
+//! * [`Timid`] — always abort the attacker (default of TL2 and TinySTM),
+//!   optionally with randomized linear back-off on rollback.
+//! * [`Greedy`] — every transaction draws a unique timestamp at its first
+//!   start; the older transaction always wins. Starvation-free.
+//! * [`Serializer`] — like Greedy but draws a *new* timestamp on every
+//!   restart, so it does not prevent starvation.
+//! * [`Polka`] — priority = number of locations accessed; the attacker
+//!   waits with exponential back-off up to a bounded number of attempts,
+//!   then aborts the victim.
+//! * [`TwoPhase`] — the paper's manager: transactions are timid until they
+//!   have performed `Wn` writes, then they join the Greedy order; rollback
+//!   uses randomized linear back-off.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::backoff;
+use crate::clock::{GlobalClock, TxShared, CM_TS_INFINITY};
+
+/// Decision returned by [`ContentionManager::resolve`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Resolution {
+    /// The attacker must abort itself (and later retry).
+    AbortSelf,
+    /// The victim should be aborted; the attacker may then retry the
+    /// conflicting operation.
+    AbortOther,
+    /// The attacker should wait (briefly) and retry the conflicting
+    /// operation without aborting anyone.
+    Wait,
+}
+
+/// A pluggable contention-management policy.
+///
+/// The hooks mirror the call sites of the paper's Algorithm 1: transaction
+/// start, successful write, write/write conflict, rollback and commit.
+/// Implementations must be cheap and lock-free: they run on the STM fast
+/// path.
+pub trait ContentionManager: Send + Sync + 'static {
+    /// Called when a transaction attempt starts. `is_restart` is `true` when
+    /// the attempt re-executes a previously aborted transaction.
+    fn on_start(&self, me: &TxShared, is_restart: bool) {
+        let _ = (me, is_restart);
+    }
+
+    /// Called after a successful transactional write; `writes_so_far` counts
+    /// the distinct writes of the current attempt.
+    fn on_write(&self, me: &TxShared, writes_so_far: usize) {
+        let _ = (me, writes_so_far);
+    }
+
+    /// Called after a transactional read; `reads_so_far` counts the reads of
+    /// the current attempt. Only priority-accumulating managers care.
+    fn on_read(&self, me: &TxShared, reads_so_far: usize) {
+        let _ = (me, reads_so_far);
+    }
+
+    /// Resolves a write/write conflict between the attacker `me` and the
+    /// current `owner` of the contended location.
+    fn resolve(&self, me: &TxShared, owner: &TxShared) -> Resolution;
+
+    /// Called when the transaction rolls back; usually implements the
+    /// post-abort back-off policy.
+    fn on_rollback(&self, me: &TxShared) {
+        let _ = me;
+    }
+
+    /// Called when the transaction commits.
+    fn on_commit(&self, me: &TxShared) {
+        let _ = me;
+    }
+
+    /// Human-readable policy name (used in experiment tables).
+    fn name(&self) -> &'static str;
+}
+
+impl fmt::Debug for dyn ContentionManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ContentionManager({})", self.name())
+    }
+}
+
+/// Shared handle to a contention manager.
+pub type CmHandle = Arc<dyn ContentionManager>;
+
+// ---------------------------------------------------------------------------
+// Timid
+// ---------------------------------------------------------------------------
+
+/// Always abort the attacker. Optionally backs off after rollback.
+#[derive(Debug)]
+pub struct Timid {
+    backoff_on_rollback: bool,
+}
+
+impl Timid {
+    /// Timid manager without any back-off (TL2/TinySTM default behaviour).
+    pub fn new() -> Self {
+        Timid {
+            backoff_on_rollback: false,
+        }
+    }
+
+    /// Timid manager with randomized linear back-off after rollback.
+    pub fn with_backoff() -> Self {
+        Timid {
+            backoff_on_rollback: true,
+        }
+    }
+}
+
+impl Default for Timid {
+    fn default() -> Self {
+        Timid::new()
+    }
+}
+
+impl ContentionManager for Timid {
+    fn resolve(&self, _me: &TxShared, _owner: &TxShared) -> Resolution {
+        Resolution::AbortSelf
+    }
+
+    fn on_rollback(&self, me: &TxShared) {
+        if self.backoff_on_rollback {
+            backoff::wait_random_linear(me.successive_aborts());
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        if self.backoff_on_rollback {
+            "timid+backoff"
+        } else {
+            "timid"
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Greedy
+// ---------------------------------------------------------------------------
+
+/// The Greedy manager of Guerraoui, Herlihy and Pochon: each transaction
+/// draws a unique, monotonically increasing timestamp at its *first* start
+/// and keeps it across restarts; the transaction with the lower timestamp
+/// always wins. Starvation-free.
+#[derive(Debug)]
+pub struct Greedy {
+    clock: GlobalClock,
+}
+
+impl Greedy {
+    /// Creates a Greedy manager with its own timestamp clock.
+    pub fn new() -> Self {
+        Greedy {
+            clock: GlobalClock::new(),
+        }
+    }
+}
+
+impl Default for Greedy {
+    fn default() -> Self {
+        Greedy::new()
+    }
+}
+
+impl ContentionManager for Greedy {
+    fn on_start(&self, me: &TxShared, is_restart: bool) {
+        if !is_restart {
+            me.set_cm_ts(self.clock.increment_and_get());
+        }
+    }
+
+    fn resolve(&self, me: &TxShared, owner: &TxShared) -> Resolution {
+        if owner.cm_ts() < me.cm_ts() {
+            Resolution::AbortSelf
+        } else {
+            Resolution::AbortOther
+        }
+    }
+
+    fn on_commit(&self, me: &TxShared) {
+        me.set_cm_ts(CM_TS_INFINITY);
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serializer
+// ---------------------------------------------------------------------------
+
+/// Like [`Greedy`], but a transaction draws a *fresh* timestamp on every
+/// restart, so long transactions can starve (this is the manager the paper
+/// uses for RSTM in STMBench7).
+#[derive(Debug)]
+pub struct Serializer {
+    clock: GlobalClock,
+}
+
+impl Serializer {
+    /// Creates a Serializer manager with its own timestamp clock.
+    pub fn new() -> Self {
+        Serializer {
+            clock: GlobalClock::new(),
+        }
+    }
+}
+
+impl Default for Serializer {
+    fn default() -> Self {
+        Serializer::new()
+    }
+}
+
+impl ContentionManager for Serializer {
+    fn on_start(&self, me: &TxShared, _is_restart: bool) {
+        // New timestamp on every attempt, including restarts.
+        me.set_cm_ts(self.clock.increment_and_get());
+    }
+
+    fn resolve(&self, me: &TxShared, owner: &TxShared) -> Resolution {
+        if owner.cm_ts() < me.cm_ts() {
+            Resolution::AbortSelf
+        } else {
+            Resolution::AbortOther
+        }
+    }
+
+    fn on_commit(&self, me: &TxShared) {
+        me.set_cm_ts(CM_TS_INFINITY);
+    }
+
+    fn name(&self) -> &'static str {
+        "serializer"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Polka
+// ---------------------------------------------------------------------------
+
+/// The Polka manager of Scherer and Scott: the attacker's priority is the
+/// number of locations it has accessed; a lower-priority attacker waits
+/// with exponential back-off, bumping its priority by one per wait, and
+/// aborts the victim once its (boosted) priority reaches the victim's or
+/// its wait budget is exhausted.
+#[derive(Debug)]
+pub struct Polka {
+    /// Maximum number of back-off rounds before forcibly aborting the
+    /// victim.
+    max_waits: u32,
+}
+
+impl Polka {
+    /// Default number of back-off rounds used by the original Polka paper.
+    pub const DEFAULT_MAX_WAITS: u32 = 22;
+
+    /// Creates a Polka manager with the default wait budget.
+    pub fn new() -> Self {
+        Polka {
+            max_waits: Self::DEFAULT_MAX_WAITS,
+        }
+    }
+
+    /// Creates a Polka manager with an explicit wait budget.
+    pub fn with_max_waits(max_waits: u32) -> Self {
+        Polka { max_waits }
+    }
+}
+
+impl Default for Polka {
+    fn default() -> Self {
+        Polka::new()
+    }
+}
+
+impl ContentionManager for Polka {
+    fn on_start(&self, me: &TxShared, is_restart: bool) {
+        if !is_restart {
+            me.set_priority(0);
+        }
+        // Priorities persist across restarts (Karma heritage): aborted work
+        // still counts.
+    }
+
+    fn on_read(&self, me: &TxShared, _reads_so_far: usize) {
+        me.bump_priority();
+    }
+
+    fn on_write(&self, me: &TxShared, _writes_so_far: usize) {
+        me.bump_priority();
+    }
+
+    fn resolve(&self, me: &TxShared, owner: &TxShared) -> Resolution {
+        // The driver calls `resolve` repeatedly while the conflict persists.
+        // Each round the attacker waits (exponential back-off) and boosts its
+        // priority by one, so the number of waits is bounded by the initial
+        // priority deficit; once the boosted priority catches up, the victim
+        // is aborted (this is the original Polka behaviour of aborting the
+        // enemy after the wait budget is exhausted).
+        let my_priority = me.priority();
+        let owner_priority = owner.priority();
+        if my_priority >= owner_priority {
+            return Resolution::AbortOther;
+        }
+        let deficit = owner_priority - my_priority;
+        if deficit > self.max_waits as u64 {
+            // Far behind a much larger transaction: give up immediately
+            // rather than stalling for a long time.
+            return Resolution::AbortSelf;
+        }
+        me.bump_priority();
+        backoff::wait_random_exponential(deficit as u32);
+        Resolution::Wait
+    }
+
+    fn on_commit(&self, me: &TxShared) {
+        me.set_priority(0);
+    }
+
+    fn name(&self) -> &'static str {
+        "polka"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TwoPhase (the paper's contribution, Algorithm 2)
+// ---------------------------------------------------------------------------
+
+/// The paper's two-phase contention manager.
+///
+/// Phase one ("timid"): a transaction that has performed fewer than `Wn`
+/// writes has `cm-ts = ∞` and aborts itself on any write/write conflict.
+/// Phase two ("greedy"): upon its `Wn`-th write the transaction increments
+/// the shared `greedy-ts` clock and adopts the value; conflicts between two
+/// phase-two transactions are resolved in favour of the *older* timestamp
+/// (the one that has been running — and working — longer). Rollback applies
+/// randomized linear back-off proportional to the number of successive
+/// aborts.
+#[derive(Debug)]
+pub struct TwoPhase {
+    greedy_clock: GlobalClock,
+    wn: usize,
+    backoff_on_rollback: bool,
+}
+
+impl TwoPhase {
+    /// The paper's write-count threshold (`Wn = 10`).
+    pub const DEFAULT_WN: usize = 10;
+
+    /// Creates the manager with the paper's parameters.
+    pub fn new() -> Self {
+        TwoPhase {
+            greedy_clock: GlobalClock::new(),
+            wn: Self::DEFAULT_WN,
+            backoff_on_rollback: true,
+        }
+    }
+
+    /// Creates the manager with a custom `Wn` threshold (used by the extra
+    /// `Wn` ablation bench).
+    pub fn with_wn(wn: usize) -> Self {
+        TwoPhase {
+            greedy_clock: GlobalClock::new(),
+            wn,
+            backoff_on_rollback: true,
+        }
+    }
+
+    /// Disables the post-rollback back-off (the "no backoff" series of
+    /// Figure 11).
+    pub fn without_backoff(mut self) -> Self {
+        self.backoff_on_rollback = false;
+        self
+    }
+
+    /// The configured `Wn` threshold.
+    pub fn wn(&self) -> usize {
+        self.wn
+    }
+}
+
+impl Default for TwoPhase {
+    fn default() -> Self {
+        TwoPhase::new()
+    }
+}
+
+impl ContentionManager for TwoPhase {
+    fn on_start(&self, me: &TxShared, is_restart: bool) {
+        // cm-start: only a *fresh* transaction resets its timestamp; a
+        // restarted transaction keeps the timestamp it may have acquired, so
+        // that its accumulated work keeps being prioritised.
+        if !is_restart {
+            me.set_cm_ts(CM_TS_INFINITY);
+        }
+    }
+
+    fn on_write(&self, me: &TxShared, writes_so_far: usize) {
+        // cm-on-write: upon the Wn-th write, enter the second phase.
+        if me.cm_ts() == CM_TS_INFINITY && writes_so_far == self.wn {
+            me.set_cm_ts(self.greedy_clock.increment_and_get());
+        }
+    }
+
+    fn resolve(&self, me: &TxShared, owner: &TxShared) -> Resolution {
+        // cm-should-abort.
+        if me.cm_ts() == CM_TS_INFINITY {
+            return Resolution::AbortSelf;
+        }
+        if owner.cm_ts() < me.cm_ts() {
+            Resolution::AbortSelf
+        } else {
+            Resolution::AbortOther
+        }
+    }
+
+    fn on_rollback(&self, me: &TxShared) {
+        if self.backoff_on_rollback {
+            backoff::wait_random_linear(me.successive_aborts());
+        }
+    }
+
+    fn on_commit(&self, me: &TxShared) {
+        me.set_cm_ts(CM_TS_INFINITY);
+    }
+
+    fn name(&self) -> &'static str {
+        if self.backoff_on_rollback {
+            "two-phase"
+        } else {
+            "two-phase(no-backoff)"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ThreadRegistry;
+
+    fn two_txs() -> (ThreadRegistry, crate::clock::ThreadSlot, crate::clock::ThreadSlot) {
+        let reg = ThreadRegistry::new();
+        let a = reg.register().unwrap();
+        let b = reg.register().unwrap();
+        (reg, a, b)
+    }
+
+    #[test]
+    fn timid_always_aborts_self() {
+        let (reg, a, b) = two_txs();
+        let cm = Timid::new();
+        assert_eq!(
+            cm.resolve(reg.shared(a), reg.shared(b)),
+            Resolution::AbortSelf
+        );
+        assert_eq!(cm.name(), "timid");
+        assert_eq!(Timid::with_backoff().name(), "timid+backoff");
+    }
+
+    #[test]
+    fn greedy_older_transaction_wins() {
+        let (reg, a, b) = two_txs();
+        let cm = Greedy::new();
+        cm.on_start(reg.shared(a), false); // ts 1
+        cm.on_start(reg.shared(b), false); // ts 2
+        // b attacks a: a is older, so b must abort itself.
+        assert_eq!(
+            cm.resolve(reg.shared(b), reg.shared(a)),
+            Resolution::AbortSelf
+        );
+        // a attacks b: a is older, so it may abort b.
+        assert_eq!(
+            cm.resolve(reg.shared(a), reg.shared(b)),
+            Resolution::AbortOther
+        );
+    }
+
+    #[test]
+    fn greedy_timestamp_survives_restart() {
+        let (reg, a, _) = two_txs();
+        let cm = Greedy::new();
+        cm.on_start(reg.shared(a), false);
+        let ts = reg.shared(a).cm_ts();
+        cm.on_start(reg.shared(a), true);
+        assert_eq!(reg.shared(a).cm_ts(), ts);
+        cm.on_commit(reg.shared(a));
+        assert_eq!(reg.shared(a).cm_ts(), CM_TS_INFINITY);
+    }
+
+    #[test]
+    fn serializer_redraws_timestamp_on_restart() {
+        let (reg, a, _) = two_txs();
+        let cm = Serializer::new();
+        cm.on_start(reg.shared(a), false);
+        let ts = reg.shared(a).cm_ts();
+        cm.on_start(reg.shared(a), true);
+        assert!(reg.shared(a).cm_ts() > ts);
+    }
+
+    #[test]
+    fn two_phase_first_phase_is_timid() {
+        let (reg, a, b) = two_txs();
+        let cm = TwoPhase::new();
+        cm.on_start(reg.shared(a), false);
+        cm.on_start(reg.shared(b), false);
+        // Neither has performed Wn writes: attacker aborts itself.
+        assert_eq!(
+            cm.resolve(reg.shared(a), reg.shared(b)),
+            Resolution::AbortSelf
+        );
+    }
+
+    #[test]
+    fn two_phase_promotes_after_wn_writes() {
+        let (reg, a, b) = two_txs();
+        let cm = TwoPhase::with_wn(3);
+        cm.on_start(reg.shared(a), false);
+        cm.on_start(reg.shared(b), false);
+        for w in 1..=3 {
+            cm.on_write(reg.shared(a), w);
+        }
+        assert_ne!(reg.shared(a).cm_ts(), CM_TS_INFINITY);
+        // a is in phase two, b is in phase one: a wins against b.
+        assert_eq!(
+            cm.resolve(reg.shared(a), reg.shared(b)),
+            Resolution::AbortOther
+        );
+        // b (phase one) still aborts itself.
+        assert_eq!(
+            cm.resolve(reg.shared(b), reg.shared(a)),
+            Resolution::AbortSelf
+        );
+    }
+
+    #[test]
+    fn two_phase_short_transactions_never_touch_greedy_clock() {
+        let (reg, a, _) = two_txs();
+        let cm = TwoPhase::new();
+        cm.on_start(reg.shared(a), false);
+        for w in 1..TwoPhase::DEFAULT_WN {
+            cm.on_write(reg.shared(a), w);
+        }
+        assert_eq!(reg.shared(a).cm_ts(), CM_TS_INFINITY);
+    }
+
+    #[test]
+    fn two_phase_older_phase_two_transaction_wins() {
+        let (reg, a, b) = two_txs();
+        let cm = TwoPhase::with_wn(1);
+        cm.on_start(reg.shared(a), false);
+        cm.on_start(reg.shared(b), false);
+        cm.on_write(reg.shared(a), 1); // ts 1
+        cm.on_write(reg.shared(b), 1); // ts 2
+        assert_eq!(
+            cm.resolve(reg.shared(b), reg.shared(a)),
+            Resolution::AbortSelf
+        );
+        assert_eq!(
+            cm.resolve(reg.shared(a), reg.shared(b)),
+            Resolution::AbortOther
+        );
+    }
+
+    #[test]
+    fn two_phase_commit_resets_timestamp() {
+        let (reg, a, _) = two_txs();
+        let cm = TwoPhase::with_wn(1);
+        cm.on_start(reg.shared(a), false);
+        cm.on_write(reg.shared(a), 1);
+        cm.on_commit(reg.shared(a));
+        assert_eq!(reg.shared(a).cm_ts(), CM_TS_INFINITY);
+    }
+
+    #[test]
+    fn polka_higher_priority_attacker_aborts_victim() {
+        let (reg, a, b) = two_txs();
+        let cm = Polka::new();
+        cm.on_start(reg.shared(a), false);
+        cm.on_start(reg.shared(b), false);
+        reg.shared(a).set_priority(10);
+        reg.shared(b).set_priority(2);
+        assert_eq!(
+            cm.resolve(reg.shared(a), reg.shared(b)),
+            Resolution::AbortOther
+        );
+    }
+
+    #[test]
+    fn polka_lower_priority_attacker_waits_and_boosts() {
+        let (reg, a, b) = two_txs();
+        let cm = Polka::with_max_waits(4);
+        cm.on_start(reg.shared(a), false);
+        cm.on_start(reg.shared(b), false);
+        reg.shared(a).set_priority(1);
+        reg.shared(b).set_priority(3);
+        let r = cm.resolve(reg.shared(a), reg.shared(b));
+        assert_eq!(r, Resolution::Wait);
+        assert_eq!(reg.shared(a).priority(), 2);
+    }
+
+    #[test]
+    fn polka_tracks_accesses_as_priority() {
+        let (reg, a, _) = two_txs();
+        let cm = Polka::new();
+        cm.on_start(reg.shared(a), false);
+        cm.on_read(reg.shared(a), 1);
+        cm.on_read(reg.shared(a), 2);
+        cm.on_write(reg.shared(a), 1);
+        assert_eq!(reg.shared(a).priority(), 3);
+        cm.on_commit(reg.shared(a));
+        assert_eq!(reg.shared(a).priority(), 0);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            Timid::new().name(),
+            Greedy::new().name(),
+            Serializer::new().name(),
+            Polka::new().name(),
+            TwoPhase::new().name(),
+            TwoPhase::new().without_backoff().name(),
+        ];
+        let mut sorted = names.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+}

@@ -1,0 +1,188 @@
+//! Configuration types for the transactional heap and lock tables.
+
+/// Configuration of the shared transactional heap.
+///
+/// The heap is a fixed-size slab allocated up front; the paper's C++
+/// implementation works directly on process memory, here the heap plays the
+/// role of that address space (DESIGN.md §2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeapConfig {
+    /// Total number of 64-bit words in the heap (word 0 is reserved for
+    /// [`crate::word::Addr::NULL`]).
+    pub words: usize,
+}
+
+impl HeapConfig {
+    /// A small heap (64 Ki words = 512 KiB) suitable for unit tests.
+    pub fn small() -> Self {
+        HeapConfig { words: 1 << 16 }
+    }
+
+    /// A medium heap (4 Mi words = 32 MiB) suitable for microbenchmarks.
+    pub fn medium() -> Self {
+        HeapConfig { words: 1 << 22 }
+    }
+
+    /// A large heap (16 Mi words = 128 MiB) used by STMBench7 and STAMP
+    /// style workloads.
+    pub fn large() -> Self {
+        HeapConfig { words: 1 << 24 }
+    }
+
+    /// A heap with an explicit word count.
+    pub fn with_words(words: usize) -> Self {
+        HeapConfig { words }
+    }
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        HeapConfig::medium()
+    }
+}
+
+/// Configuration of a lock table (the paper's Figure 1 mapping).
+///
+/// Each stripe of `2^grain_shift` consecutive heap words maps to one lock
+/// table entry; the table has `2^log2_entries` entries and the mapping is
+/// `(addr >> grain_shift) & (2^log2_entries - 1)`.
+///
+/// The paper (Section 3.3 and Figure 13) works with 32-bit words and finds
+/// a 16-byte stripe (4 words, shift-by-4 on byte addresses) optimal. Our
+/// heap words are 64-bit, so the equivalent default is `grain_shift = 1`
+/// (2 × 8-byte words = 16 bytes per stripe).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LockTableConfig {
+    /// log2 of the number of lock-table entries.
+    pub log2_entries: u32,
+    /// log2 of the number of heap words covered by one entry.
+    pub grain_shift: u32,
+}
+
+impl LockTableConfig {
+    /// The paper's default: 2^22 entries, 16-byte stripes.
+    pub fn paper_default() -> Self {
+        LockTableConfig {
+            log2_entries: 22,
+            grain_shift: 1,
+        }
+    }
+
+    /// A small table for unit tests (2^12 entries) keeping the default
+    /// stripe size.
+    pub fn small() -> Self {
+        LockTableConfig {
+            log2_entries: 12,
+            grain_shift: 1,
+        }
+    }
+
+    /// Overrides the stripe granularity (log2 words per stripe). Used by the
+    /// Figure 13 / Table 2 granularity sweeps.
+    pub fn with_grain_shift(mut self, grain_shift: u32) -> Self {
+        self.grain_shift = grain_shift;
+        self
+    }
+
+    /// Overrides the number of entries.
+    pub fn with_log2_entries(mut self, log2_entries: u32) -> Self {
+        self.log2_entries = log2_entries;
+        self
+    }
+
+    /// Number of entries in the table.
+    pub fn entries(&self) -> usize {
+        1usize << self.log2_entries
+    }
+
+    /// Number of heap words covered by one entry.
+    pub fn words_per_stripe(&self) -> usize {
+        1usize << self.grain_shift
+    }
+
+    /// Stripe size in bytes (for reporting against the paper's byte-based
+    /// granularity axis).
+    pub fn stripe_bytes(&self) -> usize {
+        self.words_per_stripe() * std::mem::size_of::<u64>()
+    }
+}
+
+impl Default for LockTableConfig {
+    fn default() -> Self {
+        LockTableConfig::paper_default()
+    }
+}
+
+/// Combined configuration used by STM constructors.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StmConfig {
+    /// Heap configuration.
+    pub heap: HeapConfig,
+    /// Lock-table configuration.
+    pub lock_table: LockTableConfig,
+}
+
+impl StmConfig {
+    /// Configuration for unit tests: small heap, small lock table.
+    pub fn small() -> Self {
+        StmConfig {
+            heap: HeapConfig::small(),
+            lock_table: LockTableConfig::small(),
+        }
+    }
+
+    /// Configuration used by benchmark harnesses: large heap, paper-default
+    /// lock table.
+    pub fn benchmark() -> Self {
+        StmConfig {
+            heap: HeapConfig::large(),
+            lock_table: LockTableConfig::paper_default(),
+        }
+    }
+
+    /// Sets the heap configuration.
+    pub fn with_heap(mut self, heap: HeapConfig) -> Self {
+        self.heap = heap;
+        self
+    }
+
+    /// Sets the lock-table configuration.
+    pub fn with_lock_table(mut self, lock_table: LockTableConfig) -> Self {
+        self.lock_table = lock_table;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_lock_table_matches_paper() {
+        let c = LockTableConfig::paper_default();
+        assert_eq!(c.entries(), 1 << 22);
+        assert_eq!(c.stripe_bytes(), 16);
+    }
+
+    #[test]
+    fn grain_shift_override() {
+        let c = LockTableConfig::small().with_grain_shift(3);
+        assert_eq!(c.words_per_stripe(), 8);
+        assert_eq!(c.stripe_bytes(), 64);
+    }
+
+    #[test]
+    fn heap_presets_are_ordered() {
+        assert!(HeapConfig::small().words < HeapConfig::medium().words);
+        assert!(HeapConfig::medium().words < HeapConfig::large().words);
+    }
+
+    #[test]
+    fn stm_config_builders() {
+        let c = StmConfig::small()
+            .with_heap(HeapConfig::with_words(1234))
+            .with_lock_table(LockTableConfig::small().with_log2_entries(8));
+        assert_eq!(c.heap.words, 1234);
+        assert_eq!(c.lock_table.entries(), 256);
+    }
+}

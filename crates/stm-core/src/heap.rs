@@ -1,0 +1,234 @@
+//! The shared transactional heap and its allocator.
+//!
+//! The heap is a fixed-size slab of `AtomicU64` words. It plays the role of
+//! the raw process address space in the paper's C++ implementation: all
+//! transactional data structures of the workloads live here, and the STM
+//! lock tables map heap addresses (word indices) to ownership records.
+//!
+//! Reads and writes through [`TmHeap::load`] / [`TmHeap::store`] are plain
+//! atomic accesses with relaxed-to-acquire/release semantics; *consistency*
+//! is the job of the STM algorithm built on top, exactly as in the paper.
+//!
+//! The allocator is a simple thread-safe bump allocator with size-class
+//! free-lists. Transactional allocation semantics (roll back allocations of
+//! aborted transactions, defer frees to commit time) are provided by
+//! [`crate::logs::AllocLog`] and applied by the transaction driver.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::config::HeapConfig;
+use crate::error::StmError;
+use crate::word::{Addr, Word};
+
+/// Number of size classes tracked by the free-list allocator. Size class
+/// `i` holds blocks of exactly `i` words; larger blocks are never recycled.
+const FREE_LIST_CLASSES: usize = 64;
+
+#[derive(Debug, Default)]
+struct AllocatorState {
+    /// Next never-allocated word.
+    bump: usize,
+    /// Free lists indexed by block size in words.
+    free: Vec<Vec<usize>>,
+    /// Number of words currently handed out.
+    live_words: usize,
+}
+
+/// The shared transactional heap.
+#[derive(Debug)]
+pub struct TmHeap {
+    words: Box<[AtomicU64]>,
+    alloc: Mutex<AllocatorState>,
+}
+
+impl TmHeap {
+    /// Creates a heap with the given configuration. Word 0 is reserved so
+    /// that [`Addr::NULL`] never refers to live data.
+    pub fn new(config: HeapConfig) -> Self {
+        assert!(config.words >= 2, "heap must have at least two words");
+        let words = (0..config.words)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        TmHeap {
+            words,
+            alloc: Mutex::new(AllocatorState {
+                bump: 1, // skip Addr::NULL
+                free: vec![Vec::new(); FREE_LIST_CLASSES],
+                live_words: 0,
+            }),
+        }
+    }
+
+    /// Total number of words in the heap.
+    pub fn capacity(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Number of words currently allocated.
+    pub fn live_words(&self) -> usize {
+        self.alloc.lock().expect("heap allocator poisoned").live_words
+    }
+
+    /// Directly loads the value stored at `addr` (non-transactional).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    #[inline]
+    pub fn load(&self, addr: Addr) -> Word {
+        self.words[addr.index()].load(Ordering::Acquire)
+    }
+
+    /// Directly stores `value` at `addr` (non-transactional).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    #[inline]
+    pub fn store(&self, addr: Addr, value: Word) {
+        self.words[addr.index()].store(value, Ordering::Release);
+    }
+
+    /// Allocates `words` consecutive words, zeroing them.
+    ///
+    /// This is the *non-transactional* allocation entry point used for
+    /// building initial data structures; inside transactions use
+    /// [`crate::tm::Tx::alloc`] which records the allocation for rollback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StmError::OutOfMemory`] when the heap cannot satisfy the
+    /// request.
+    pub fn alloc_zeroed(&self, words: usize) -> Result<Addr, StmError> {
+        let addr = self.alloc_raw(words)?;
+        for i in 0..words {
+            self.store(addr.offset(i), 0);
+        }
+        Ok(addr)
+    }
+
+    /// Allocates `words` consecutive words without zeroing recycled blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StmError::OutOfMemory`] when the heap cannot satisfy the
+    /// request.
+    pub fn alloc_raw(&self, words: usize) -> Result<Addr, StmError> {
+        assert!(words > 0, "cannot allocate zero words");
+        let mut state = self.alloc.lock().expect("heap allocator poisoned");
+        if words < FREE_LIST_CLASSES {
+            if let Some(idx) = state.free[words].pop() {
+                state.live_words += words;
+                return Ok(Addr::new(idx));
+            }
+        }
+        let start = state.bump;
+        let end = start.checked_add(words).ok_or(StmError::OutOfMemory {
+            requested: words,
+            available: 0,
+        })?;
+        if end > self.words.len() {
+            return Err(StmError::OutOfMemory {
+                requested: words,
+                available: self.words.len().saturating_sub(start),
+            });
+        }
+        state.bump = end;
+        state.live_words += words;
+        Ok(Addr::new(start))
+    }
+
+    /// Returns a block previously obtained from [`TmHeap::alloc_raw`] /
+    /// [`TmHeap::alloc_zeroed`] to the allocator.
+    ///
+    /// The block size must match the size it was allocated with; blocks of
+    /// 64 words or more are not recycled (they are simply leaked inside the
+    /// slab), which mirrors the paper's benchmarks where large blocks are
+    /// allocated once at set-up time.
+    pub fn free(&self, addr: Addr, words: usize) {
+        assert!(!addr.is_null(), "cannot free the null address");
+        let mut state = self.alloc.lock().expect("heap allocator poisoned");
+        state.live_words = state.live_words.saturating_sub(words);
+        if words < FREE_LIST_CLASSES {
+            state.free[words].push(addr.index());
+        }
+    }
+
+    /// Words still available for fresh (non-recycled) allocation.
+    pub fn remaining(&self) -> usize {
+        let state = self.alloc.lock().expect("heap allocator poisoned");
+        self.words.len() - state.bump
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_skips_null_word() {
+        let heap = TmHeap::new(HeapConfig::small());
+        let a = heap.alloc_zeroed(4).unwrap();
+        assert!(!a.is_null());
+        assert!(a.index() >= 1);
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let heap = TmHeap::new(HeapConfig::small());
+        let a = heap.alloc_zeroed(2).unwrap();
+        heap.store(a, 17);
+        heap.store(a.offset(1), 99);
+        assert_eq!(heap.load(a), 17);
+        assert_eq!(heap.load(a.offset(1)), 99);
+    }
+
+    #[test]
+    fn free_list_recycles_blocks() {
+        let heap = TmHeap::new(HeapConfig::small());
+        let a = heap.alloc_zeroed(8).unwrap();
+        heap.free(a, 8);
+        let b = heap.alloc_raw(8).unwrap();
+        assert_eq!(a, b, "freed block should be recycled for same size class");
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let heap = TmHeap::new(HeapConfig::with_words(16));
+        assert!(heap.alloc_zeroed(64).is_err());
+        let err = heap.alloc_zeroed(1000).unwrap_err();
+        assert!(matches!(err, StmError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn live_words_tracks_alloc_and_free() {
+        let heap = TmHeap::new(HeapConfig::small());
+        assert_eq!(heap.live_words(), 0);
+        let a = heap.alloc_zeroed(4).unwrap();
+        let b = heap.alloc_zeroed(6).unwrap();
+        assert_eq!(heap.live_words(), 10);
+        heap.free(a, 4);
+        assert_eq!(heap.live_words(), 6);
+        heap.free(b, 6);
+        assert_eq!(heap.live_words(), 0);
+    }
+
+    #[test]
+    fn alloc_zeroed_clears_recycled_memory() {
+        let heap = TmHeap::new(HeapConfig::small());
+        let a = heap.alloc_zeroed(2).unwrap();
+        heap.store(a, 0xdead);
+        heap.free(a, 2);
+        let b = heap.alloc_zeroed(2).unwrap();
+        assert_eq!(heap.load(b), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot free the null address")]
+    fn freeing_null_panics() {
+        let heap = TmHeap::new(HeapConfig::small());
+        heap.free(Addr::NULL, 1);
+    }
+}

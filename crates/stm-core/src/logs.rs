@@ -1,0 +1,290 @@
+//! Read, write and allocation logs kept by transaction descriptors.
+//!
+//! These containers are deliberately simple `Vec`-backed logs: the paper's
+//! STMs all use append-only logs with an auxiliary lookup for
+//! read-after-write, and the cost model of the reproduced algorithms
+//! (validation time proportional to read-set size, write-set search on
+//! read-after-write) follows from the same structure.
+
+use std::collections::HashMap;
+
+use crate::word::{Addr, Word};
+
+/// One entry of a read log: which lock-table entry was read and the version
+/// observed at the time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadEntry {
+    /// Index of the lock-table entry covering the location.
+    pub lock_index: usize,
+    /// Version number observed when the location was first read.
+    pub version: u64,
+}
+
+/// Append-only read log.
+#[derive(Debug, Default)]
+pub struct ReadLog {
+    entries: Vec<ReadEntry>,
+}
+
+impl ReadLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        ReadLog {
+            entries: Vec::with_capacity(64),
+        }
+    }
+
+    /// Appends an entry.
+    #[inline]
+    pub fn push(&mut self, lock_index: usize, version: u64) {
+        self.entries.push(ReadEntry {
+            lock_index,
+            version,
+        });
+    }
+
+    /// Number of logged reads.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no reads were logged.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the logged reads in program order.
+    pub fn iter(&self) -> impl Iterator<Item = &ReadEntry> {
+        self.entries.iter()
+    }
+
+    /// Clears the log for the next transaction attempt.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// One entry of a write (redo) log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteEntry {
+    /// The written address.
+    pub addr: Addr,
+    /// The value to install at commit time.
+    pub value: Word,
+    /// Index of the lock-table entry covering `addr`.
+    pub lock_index: usize,
+    /// Version of the location when the stripe was acquired (used by
+    /// algorithms that restore versions on rollback).
+    pub version: u64,
+}
+
+/// A redo log with O(1) read-after-write lookups by address.
+///
+/// Several written addresses may share a lock-table stripe; the log also
+/// tracks the set of *distinct* stripes acquired so that commit and
+/// rollback release each lock exactly once.
+#[derive(Debug, Default)]
+pub struct WriteLog {
+    entries: Vec<WriteEntry>,
+    by_addr: HashMap<Addr, usize>,
+    distinct_stripes: Vec<usize>,
+}
+
+impl WriteLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        WriteLog {
+            entries: Vec::with_capacity(32),
+            by_addr: HashMap::with_capacity(32),
+            distinct_stripes: Vec::with_capacity(32),
+        }
+    }
+
+    /// Records a write to `addr`. If the address was already written the
+    /// existing entry's value is updated (no new entry is appended) and
+    /// `false` is returned; otherwise a new entry is appended and `true` is
+    /// returned.
+    pub fn record(&mut self, addr: Addr, value: Word, lock_index: usize, version: u64) -> bool {
+        if let Some(&pos) = self.by_addr.get(&addr) {
+            self.entries[pos].value = value;
+            false
+        } else {
+            self.by_addr.insert(addr, self.entries.len());
+            self.entries.push(WriteEntry {
+                addr,
+                value,
+                lock_index,
+                version,
+            });
+            true
+        }
+    }
+
+    /// Marks `lock_index` as a stripe acquired by this transaction. Returns
+    /// `true` if the stripe was not yet recorded.
+    pub fn record_stripe(&mut self, lock_index: usize) -> bool {
+        if self.distinct_stripes.contains(&lock_index) {
+            false
+        } else {
+            self.distinct_stripes.push(lock_index);
+            true
+        }
+    }
+
+    /// The distinct lock-table stripes acquired so far, in acquisition
+    /// order.
+    pub fn stripes(&self) -> &[usize] {
+        &self.distinct_stripes
+    }
+
+    /// Returns `true` if this transaction already acquired `lock_index`.
+    #[inline]
+    pub fn owns_stripe(&self, lock_index: usize) -> bool {
+        self.distinct_stripes.contains(&lock_index)
+    }
+
+    /// Looks up the latest value written to `addr`, if any.
+    #[inline]
+    pub fn lookup(&self, addr: Addr) -> Option<Word> {
+        self.by_addr.get(&addr).map(|&pos| self.entries[pos].value)
+    }
+
+    /// Number of distinct written addresses.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the write entries in first-write order.
+    pub fn iter(&self) -> impl Iterator<Item = &WriteEntry> {
+        self.entries.iter()
+    }
+
+    /// Clears the log for the next transaction attempt.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.by_addr.clear();
+        self.distinct_stripes.clear();
+    }
+}
+
+/// Log of transactional allocations and frees.
+///
+/// * Allocations performed inside an aborted transaction are returned to
+///   the heap.
+/// * Frees requested inside a transaction are deferred until commit (so
+///   that concurrent readers never observe recycled memory mid-transaction).
+#[derive(Debug, Default)]
+pub struct AllocLog {
+    allocated: Vec<(Addr, usize)>,
+    freed: Vec<(Addr, usize)>,
+}
+
+impl AllocLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        AllocLog::default()
+    }
+
+    /// Records a block allocated by the running transaction.
+    pub fn record_alloc(&mut self, addr: Addr, words: usize) {
+        self.allocated.push((addr, words));
+    }
+
+    /// Records a block the running transaction wants to free at commit.
+    pub fn record_free(&mut self, addr: Addr, words: usize) {
+        self.freed.push((addr, words));
+    }
+
+    /// Blocks allocated by the running transaction.
+    pub fn allocated(&self) -> &[(Addr, usize)] {
+        &self.allocated
+    }
+
+    /// Blocks to free when the transaction commits.
+    pub fn freed(&self) -> &[(Addr, usize)] {
+        &self.freed
+    }
+
+    /// Returns `true` if the log records no allocator activity.
+    pub fn is_empty(&self) -> bool {
+        self.allocated.is_empty() && self.freed.is_empty()
+    }
+
+    /// Clears the log.
+    pub fn clear(&mut self) {
+        self.allocated.clear();
+        self.freed.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_log_appends_in_order() {
+        let mut log = ReadLog::new();
+        assert!(log.is_empty());
+        log.push(3, 10);
+        log.push(7, 11);
+        assert_eq!(log.len(), 2);
+        let entries: Vec<_> = log.iter().copied().collect();
+        assert_eq!(entries[0], ReadEntry { lock_index: 3, version: 10 });
+        assert_eq!(entries[1], ReadEntry { lock_index: 7, version: 11 });
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn write_log_deduplicates_addresses() {
+        let mut log = WriteLog::new();
+        assert!(log.record(Addr::new(5), 1, 0, 0));
+        assert!(!log.record(Addr::new(5), 2, 0, 0));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.lookup(Addr::new(5)), Some(2));
+        assert_eq!(log.lookup(Addr::new(6)), None);
+    }
+
+    #[test]
+    fn write_log_tracks_distinct_stripes() {
+        let mut log = WriteLog::new();
+        assert!(log.record_stripe(4));
+        assert!(!log.record_stripe(4));
+        assert!(log.record_stripe(9));
+        assert_eq!(log.stripes(), &[4, 9]);
+        assert!(log.owns_stripe(9));
+        assert!(!log.owns_stripe(2));
+    }
+
+    #[test]
+    fn write_log_clear_resets_everything() {
+        let mut log = WriteLog::new();
+        log.record(Addr::new(1), 1, 0, 0);
+        log.record_stripe(0);
+        log.clear();
+        assert!(log.is_empty());
+        assert!(log.stripes().is_empty());
+        assert_eq!(log.lookup(Addr::new(1)), None);
+    }
+
+    #[test]
+    fn alloc_log_tracks_both_directions() {
+        let mut log = AllocLog::new();
+        assert!(log.is_empty());
+        log.record_alloc(Addr::new(10), 4);
+        log.record_free(Addr::new(20), 2);
+        assert_eq!(log.allocated(), &[(Addr::new(10), 4)]);
+        assert_eq!(log.freed(), &[(Addr::new(20), 2)]);
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

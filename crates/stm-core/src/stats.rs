@@ -1,0 +1,230 @@
+//! Per-thread and aggregated transaction statistics.
+//!
+//! Every [`crate::tm::ThreadContext`] keeps a [`TxStats`] record; the
+//! benchmark harness aggregates them into a [`StatsAggregate`] to report
+//! throughput, abort ratios and abort-reason breakdowns, which is what the
+//! paper's figures are built from.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use crate::error::AbortReason;
+
+/// Statistics of a single thread's transactional activity.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TxStats {
+    /// Number of committed transactions.
+    pub commits: u64,
+    /// Number of committed read-only transactions (subset of `commits`).
+    pub read_only_commits: u64,
+    /// Number of aborted transaction attempts.
+    pub aborts: u64,
+    /// Aborts broken down by reason.
+    pub aborts_by_reason: BTreeMap<&'static str, u64>,
+    /// Number of transactional read operations (across all attempts).
+    pub reads: u64,
+    /// Number of transactional write operations (across all attempts).
+    pub writes: u64,
+    /// Number of read-set validations performed.
+    pub validations: u64,
+    /// Number of read-set extension attempts that succeeded.
+    pub extensions: u64,
+}
+
+impl TxStats {
+    /// Creates an all-zero record.
+    pub fn new() -> Self {
+        TxStats::default()
+    }
+
+    /// Records a committed transaction.
+    pub fn record_commit(&mut self, read_only: bool) {
+        self.commits += 1;
+        if read_only {
+            self.read_only_commits += 1;
+        }
+    }
+
+    /// Records an aborted attempt with its reason.
+    pub fn record_abort(&mut self, reason: AbortReason) {
+        self.aborts += 1;
+        *self.aborts_by_reason.entry(reason.label()).or_insert(0) += 1;
+    }
+
+    /// Total attempts (commits + aborts).
+    pub fn attempts(&self) -> u64 {
+        self.commits + self.aborts
+    }
+
+    /// Fraction of attempts that aborted, in `[0, 1]`; zero when no attempt
+    /// was made.
+    pub fn abort_ratio(&self) -> f64 {
+        let attempts = self.attempts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / attempts as f64
+        }
+    }
+
+    /// Merges another record into this one.
+    pub fn merge(&mut self, other: &TxStats) {
+        self.commits += other.commits;
+        self.read_only_commits += other.read_only_commits;
+        self.aborts += other.aborts;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.validations += other.validations;
+        self.extensions += other.extensions;
+        for (reason, count) in &other.aborts_by_reason {
+            *self.aborts_by_reason.entry(reason).or_insert(0) += count;
+        }
+    }
+}
+
+impl fmt::Display for TxStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "commits={} (ro={}) aborts={} abort-ratio={:.3} reads={} writes={}",
+            self.commits,
+            self.read_only_commits,
+            self.aborts,
+            self.abort_ratio(),
+            self.reads,
+            self.writes
+        )
+    }
+}
+
+/// Aggregated statistics across the threads of one benchmark run.
+#[derive(Clone, Debug, Default)]
+pub struct StatsAggregate {
+    /// Sum of per-thread statistics.
+    pub totals: TxStats,
+    /// Number of threads that contributed.
+    pub threads: usize,
+    /// Wall-clock duration of the measured interval.
+    pub elapsed: Duration,
+}
+
+impl StatsAggregate {
+    /// Builds an aggregate from per-thread records and the measured
+    /// wall-clock duration.
+    pub fn collect<'a, I>(stats: I, elapsed: Duration) -> Self
+    where
+        I: IntoIterator<Item = &'a TxStats>,
+    {
+        let mut totals = TxStats::new();
+        let mut threads = 0;
+        for s in stats {
+            totals.merge(s);
+            threads += 1;
+        }
+        StatsAggregate {
+            totals,
+            threads,
+            elapsed,
+        }
+    }
+
+    /// Committed transactions per second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.totals.commits as f64 / secs
+        }
+    }
+
+    /// Abort ratio across all threads.
+    pub fn abort_ratio(&self) -> f64 {
+        self.totals.abort_ratio()
+    }
+}
+
+impl fmt::Display for StatsAggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} threads, {:.1} tx/s, {} ({:.2?})",
+            self.threads,
+            self.throughput(),
+            self.totals,
+            self.elapsed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_and_abort_counters() {
+        let mut s = TxStats::new();
+        s.record_commit(true);
+        s.record_commit(false);
+        s.record_abort(AbortReason::WriteConflict);
+        assert_eq!(s.commits, 2);
+        assert_eq!(s.read_only_commits, 1);
+        assert_eq!(s.aborts, 1);
+        assert_eq!(s.attempts(), 3);
+        assert!((s.abort_ratio() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.aborts_by_reason.get("write-conflict"), Some(&1));
+    }
+
+    #[test]
+    fn abort_ratio_of_empty_stats_is_zero() {
+        assert_eq!(TxStats::new().abort_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_all_fields() {
+        let mut a = TxStats::new();
+        a.record_commit(false);
+        a.reads = 10;
+        a.record_abort(AbortReason::ReadValidation);
+        let mut b = TxStats::new();
+        b.record_commit(true);
+        b.reads = 5;
+        b.writes = 3;
+        b.record_abort(AbortReason::ReadValidation);
+        b.record_abort(AbortReason::WriteConflict);
+        a.merge(&b);
+        assert_eq!(a.commits, 2);
+        assert_eq!(a.reads, 15);
+        assert_eq!(a.writes, 3);
+        assert_eq!(a.aborts, 3);
+        assert_eq!(a.aborts_by_reason.get("read-validation"), Some(&2));
+    }
+
+    #[test]
+    fn aggregate_throughput() {
+        let mut a = TxStats::new();
+        a.commits = 500;
+        let mut b = TxStats::new();
+        b.commits = 500;
+        let agg = StatsAggregate::collect([&a, &b], Duration::from_secs(2));
+        assert_eq!(agg.threads, 2);
+        assert!((agg.throughput() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_with_zero_duration_reports_zero_throughput() {
+        let a = TxStats::new();
+        let agg = StatsAggregate::collect([&a], Duration::ZERO);
+        assert_eq!(agg.throughput(), 0.0);
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        let mut s = TxStats::new();
+        s.record_commit(false);
+        assert!(!s.to_string().is_empty());
+        let agg = StatsAggregate::collect([&s], Duration::from_millis(10));
+        assert!(!agg.to_string().is_empty());
+    }
+}

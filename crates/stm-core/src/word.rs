@@ -1,0 +1,161 @@
+//! Fundamental value and address types of the transactional heap.
+//!
+//! All STMs in this workspace are *word-based*: the unit of transactional
+//! access is a single 64-bit [`Word`] identified by an [`Addr`]. Addresses
+//! index into a [`crate::heap::TmHeap`]; they are the reproduction's
+//! substitute for the raw `void*` addresses used by the paper's C/C++
+//! implementation (see DESIGN.md §2).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// The unit of transactional storage: one 64-bit machine word.
+pub type Word = u64;
+
+/// Index of a word in the transactional heap.
+///
+/// `Addr` is a plain newtype around `usize`; arithmetic helpers make it easy
+/// to lay out records ("objects") as consecutive words:
+///
+/// ```
+/// use stm_core::word::Addr;
+/// let base = Addr::new(100);
+/// assert_eq!(base.offset(3), Addr::new(103));
+/// assert_eq!((base + 3) - base, 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(usize);
+
+impl Addr {
+    /// The null address. Word 0 of the heap is reserved so that `Addr::NULL`
+    /// never aliases live data; data structures may use it as a sentinel
+    /// (e.g. a red-black tree's `nil` pointer).
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address from a raw heap index.
+    #[inline]
+    pub const fn new(index: usize) -> Self {
+        Addr(index)
+    }
+
+    /// Returns the raw heap index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Returns the address `words` words past `self`.
+    #[inline]
+    pub const fn offset(self, words: usize) -> Self {
+        Addr(self.0 + words)
+    }
+
+    /// Returns `true` if this is [`Addr::NULL`].
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Encodes the address as a [`Word`] so that heap cells can store
+    /// "pointers" to other heap cells.
+    #[inline]
+    pub const fn to_word(self) -> Word {
+        self.0 as Word
+    }
+
+    /// Decodes an address previously encoded with [`Addr::to_word`].
+    #[inline]
+    pub const fn from_word(word: Word) -> Self {
+        Addr(word as usize)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl From<usize> for Addr {
+    fn from(index: usize) -> Self {
+        Addr(index)
+    }
+}
+
+impl From<Addr> for usize {
+    fn from(addr: Addr) -> Self {
+        addr.0
+    }
+}
+
+impl Add<usize> for Addr {
+    type Output = Addr;
+
+    fn add(self, rhs: usize) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl AddAssign<usize> for Addr {
+    fn add_assign(&mut self, rhs: usize) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = usize;
+
+    fn sub(self, rhs: Addr) -> usize {
+        self.0 - rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_index_zero() {
+        assert!(Addr::NULL.is_null());
+        assert_eq!(Addr::NULL.index(), 0);
+        assert!(!Addr::new(1).is_null());
+    }
+
+    #[test]
+    fn offset_and_arithmetic() {
+        let a = Addr::new(10);
+        assert_eq!(a.offset(5).index(), 15);
+        assert_eq!(a + 5, Addr::new(15));
+        assert_eq!(Addr::new(15) - a, 5);
+        let mut b = a;
+        b += 7;
+        assert_eq!(b.index(), 17);
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let a = Addr::new(123_456);
+        assert_eq!(Addr::from_word(a.to_word()), a);
+    }
+
+    #[test]
+    fn conversions_and_formatting() {
+        let a: Addr = 42usize.into();
+        let raw: usize = a.into();
+        assert_eq!(raw, 42);
+        assert_eq!(format!("{a}"), "@42");
+        assert_eq!(format!("{a:?}"), "Addr(42)");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Addr::new(1) < Addr::new(2));
+        assert_eq!(Addr::new(7), Addr::new(7));
+    }
+}

@@ -1,0 +1,120 @@
+//! `repro` — regenerate the figures and tables of the SwissTM paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <experiment> [--full] [--threads N] [--millis M] [--work P] [--seed S]
+//!
+//! experiments: fig2 fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+//!              table1 table2 all
+//! ```
+//!
+//! Without `--full` the quick profile is used: fewer threads, shorter data
+//! points and scaled-down fixed-work benchmarks — enough to see the shape
+//! of every figure in minutes on a laptop. `--full` switches to the paper's
+//! 1–8 thread sweep.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use stm_harness::experiments;
+use stm_harness::runner::RunOptions;
+use stm_harness::table::Table;
+
+fn print_tables(tables: &[Table]) {
+    for table in tables {
+        println!("{table}");
+    }
+}
+
+fn run_experiment(name: &str, options: &RunOptions) -> Result<(), String> {
+    match name {
+        "fig2" => print_tables(&experiments::figure2(options)),
+        "fig3" => print_tables(&experiments::figure3(options)),
+        "fig4" => print_tables(&experiments::figure4(options)),
+        "fig5" => print_tables(&[experiments::figure5(options)]),
+        "fig7" => print_tables(&[experiments::figure7(options)]),
+        "fig8" => print_tables(&[experiments::figure8(options)]),
+        "fig9" => print_tables(&[experiments::figure9(options)]),
+        "fig10" => print_tables(&[experiments::figure10(options)]),
+        "fig11" => print_tables(&[experiments::figure11(options)]),
+        "fig12" => print_tables(&[experiments::figure12(options)]),
+        "fig13" => print_tables(&[experiments::figure13(options)]),
+        "table1" => print_tables(&[experiments::table1(options)]),
+        "table2" => print_tables(&[experiments::table2(options)]),
+        "all" => {
+            for experiment in [
+                "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11",
+                "fig12", "fig13", "table1", "table2",
+            ] {
+                run_experiment(experiment, options)?;
+            }
+        }
+        other => return Err(format!("unknown experiment '{other}'")),
+    }
+    Ok(())
+}
+
+fn parse_args() -> Result<(String, RunOptions), String> {
+    let mut args = std::env::args().skip(1);
+    let experiment = args.next().ok_or_else(usage)?;
+    let mut options = RunOptions::quick();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--full" => options = RunOptions::full(),
+            "--threads" => {
+                options.max_threads = next_value(&mut args, "--threads")?;
+            }
+            "--millis" => {
+                let millis: u64 = next_value(&mut args, "--millis")?;
+                options.point_duration = Duration::from_millis(millis);
+            }
+            "--work" => {
+                options.work_percent = next_value(&mut args, "--work")?;
+            }
+            "--seed" => {
+                options.seed = next_value(&mut args, "--seed")?;
+            }
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    Ok((experiment, options))
+}
+
+fn next_value<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<T, String> {
+    args.next()
+        .ok_or_else(|| format!("{flag} requires a value"))?
+        .parse()
+        .map_err(|_| format!("invalid value for {flag}"))
+}
+
+fn usage() -> String {
+    "usage: repro <fig2|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|fig12|fig13|table1|table2|all> \
+     [--full] [--threads N] [--millis M] [--work P] [--seed S]"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok((experiment, options)) => {
+            println!(
+                "# SwissTM reproduction harness — experiment '{}' ({} threads max, {:?}/point, {}% work)",
+                experiment, options.max_threads, options.point_duration, options.work_percent
+            );
+            match run_experiment(&experiment, &options) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! # stm-harness
+//!
+//! The experiment harness that regenerates every figure and table of the
+//! SwissTM paper's evaluation (Sections 4 and 5). Each experiment is a
+//! function in [`experiments`] returning a [`table::Table`] whose rows and
+//! series mirror the corresponding figure; the `repro` binary prints them.
+//!
+//! The harness is deliberately configuration-driven ([`runner::RunOptions`])
+//! so the same code produces both a quick smoke run (seconds per data
+//! point, used in CI and the Criterion benches) and a full sweep.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+pub mod table;

@@ -1,0 +1,270 @@
+//! The multi-threaded benchmark driver.
+//!
+//! The paper measures either *throughput* (transactions per second over a
+//! fixed wall-clock interval — STMBench7, red-black tree) or *execution
+//! time* (time to complete a fixed amount of work — Lee-TM, STAMP). The
+//! driver supports both through [`RunLength`].
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use stm_core::backoff::FastRng;
+use stm_core::stats::{StatsAggregate, TxStats};
+use stm_core::tm::{ThreadContext, TmAlgorithm};
+
+/// A benchmark workload: a shared, thread-safe description of the data
+/// structure plus an `execute` method performing one application-level
+/// operation (usually one transaction, sometimes a couple).
+pub trait Workload<A: TmAlgorithm>: Send + Sync {
+    /// Executes one operation on behalf of the calling thread.
+    ///
+    /// `op_index` is a per-thread operation counter; `rng` is a per-thread
+    /// deterministic generator.
+    fn execute(&self, ctx: &mut ThreadContext<A>, rng: &mut FastRng, op_index: u64);
+
+    /// Human-readable workload name.
+    fn name(&self) -> String;
+
+    /// Optional post-run consistency check (run single-threaded). Returning
+    /// `false` fails the benchmark run's sanity assertion.
+    fn check(&self, _ctx: &mut ThreadContext<A>) -> bool {
+        true
+    }
+}
+
+/// How long a benchmark run lasts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunLength {
+    /// Each thread executes exactly this many operations (execution-time
+    /// style measurements: Lee-TM, STAMP).
+    OpsPerThread(u64),
+    /// All threads run until the wall-clock duration elapses (throughput
+    /// style measurements: STMBench7, red-black tree).
+    Duration(Duration),
+    /// The threads collectively execute this many operations, claimed from a
+    /// shared counter (used when the work list is global, e.g. Lee-TM
+    /// routes).
+    TotalOps(u64),
+}
+
+/// Result of one benchmark run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Aggregated transaction statistics.
+    pub stats: StatsAggregate,
+    /// Number of application-level operations executed.
+    pub operations: u64,
+    /// Wall-clock time of the measured interval.
+    pub elapsed: Duration,
+    /// Whether the workload's consistency check passed.
+    pub check_passed: bool,
+}
+
+impl RunResult {
+    /// Application-level operations per second.
+    pub fn ops_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.operations as f64 / secs
+        }
+    }
+
+    /// Committed transactions per second.
+    pub fn throughput(&self) -> f64 {
+        self.stats.throughput()
+    }
+
+    /// Abort ratio across all threads.
+    pub fn abort_ratio(&self) -> f64 {
+        self.stats.abort_ratio()
+    }
+}
+
+/// Runs `workload` on `threads` threads and collects statistics.
+///
+/// Each thread registers a [`ThreadContext`], draws a deterministic RNG
+/// seeded from `seed` and its thread index, and repeatedly calls
+/// [`Workload::execute`] until the run length is exhausted.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics or the workload's consistency check
+/// fails.
+pub fn run_workload<A, W>(
+    stm: Arc<A>,
+    workload: Arc<W>,
+    threads: usize,
+    length: RunLength,
+    seed: u64,
+) -> RunResult
+where
+    A: TmAlgorithm,
+    W: Workload<A> + ?Sized + 'static,
+{
+    assert!(threads > 0, "at least one thread is required");
+    let stop = Arc::new(AtomicBool::new(false));
+    let shared_ops = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+
+    let per_thread: Vec<(TxStats, u64)> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for thread_index in 0..threads {
+            let stm = Arc::clone(&stm);
+            let workload = Arc::clone(&workload);
+            let stop = Arc::clone(&stop);
+            let shared_ops = Arc::clone(&shared_ops);
+            handles.push(scope.spawn(move || {
+                let mut ctx = ThreadContext::register(stm);
+                let mut rng = FastRng::new(
+                    seed ^ (thread_index as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15),
+                );
+                let mut executed = 0u64;
+                match length {
+                    RunLength::OpsPerThread(ops) => {
+                        for op_index in 0..ops {
+                            workload.execute(&mut ctx, &mut rng, op_index);
+                            executed += 1;
+                        }
+                    }
+                    RunLength::Duration(_) => {
+                        let mut op_index = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            workload.execute(&mut ctx, &mut rng, op_index);
+                            executed += 1;
+                            op_index += 1;
+                        }
+                    }
+                    RunLength::TotalOps(total) => loop {
+                        let op_index = shared_ops.fetch_add(1, Ordering::Relaxed);
+                        if op_index >= total {
+                            break;
+                        }
+                        workload.execute(&mut ctx, &mut rng, op_index);
+                        executed += 1;
+                    },
+                }
+                (ctx.take_stats(), executed)
+            }));
+        }
+
+        if let RunLength::Duration(duration) = length {
+            // The main thread acts as the timer.
+            std::thread::sleep(duration);
+            stop.store(true, Ordering::Relaxed);
+        }
+
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("benchmark worker thread panicked"))
+            .collect()
+    });
+
+    let elapsed = started.elapsed();
+    let operations = per_thread.iter().map(|(_, ops)| ops).sum();
+    let stats = StatsAggregate::collect(per_thread.iter().map(|(s, _)| s), elapsed);
+
+    // Post-run consistency check on a fresh context.
+    let mut checker = ThreadContext::register(stm);
+    let check_passed = workload.check(&mut checker);
+    assert!(
+        check_passed,
+        "workload '{}' failed its post-run consistency check",
+        workload.name()
+    );
+
+    RunResult {
+        stats,
+        operations,
+        elapsed,
+        check_passed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_core::config::HeapConfig;
+    use stm_core::naive::NaiveGlobalLockTm;
+    use stm_core::word::Addr;
+
+    struct CounterWorkload {
+        addr: Addr,
+    }
+
+    impl Workload<NaiveGlobalLockTm> for CounterWorkload {
+        fn execute(
+            &self,
+            ctx: &mut ThreadContext<NaiveGlobalLockTm>,
+            _rng: &mut FastRng,
+            _op: u64,
+        ) {
+            ctx.atomically(|tx| {
+                let v = tx.read(self.addr)?;
+                tx.write(self.addr, v + 1)
+            })
+            .unwrap();
+        }
+
+        fn name(&self) -> String {
+            "counter".into()
+        }
+
+        fn check(&self, ctx: &mut ThreadContext<NaiveGlobalLockTm>) -> bool {
+            ctx.read_word(self.addr).unwrap() > 0
+        }
+    }
+
+    fn setup() -> (Arc<NaiveGlobalLockTm>, Arc<CounterWorkload>) {
+        let stm = Arc::new(NaiveGlobalLockTm::new(HeapConfig::small()));
+        let addr = stm.heap().alloc_zeroed(1).unwrap();
+        (stm, Arc::new(CounterWorkload { addr }))
+    }
+
+    #[test]
+    fn ops_per_thread_executes_exact_count() {
+        let (stm, workload) = setup();
+        let result = run_workload(
+            Arc::clone(&stm),
+            Arc::clone(&workload),
+            3,
+            RunLength::OpsPerThread(100),
+            42,
+        );
+        assert_eq!(result.operations, 300);
+        assert_eq!(stm.heap().load(workload.addr), 300);
+        assert!(result.check_passed);
+        assert!(result.ops_per_second() > 0.0);
+    }
+
+    #[test]
+    fn total_ops_splits_work_between_threads() {
+        let (stm, workload) = setup();
+        let result = run_workload(
+            Arc::clone(&stm),
+            Arc::clone(&workload),
+            4,
+            RunLength::TotalOps(200),
+            1,
+        );
+        assert_eq!(result.operations, 200);
+        assert_eq!(stm.heap().load(workload.addr), 200);
+    }
+
+    #[test]
+    fn duration_run_terminates_and_reports_throughput() {
+        let (stm, workload) = setup();
+        let result = run_workload(
+            stm,
+            workload,
+            2,
+            RunLength::Duration(Duration::from_millis(50)),
+            7,
+        );
+        assert!(result.operations > 0);
+        assert!(result.throughput() > 0.0);
+        assert!(result.elapsed >= Duration::from_millis(50));
+    }
+}

@@ -1,0 +1,453 @@
+//! The STMBench7 object graph: layout and construction.
+//!
+//! Record layouts (word offsets) — every record is a block of consecutive
+//! heap words:
+//!
+//! ```text
+//! AtomicPart      [id, x, y, build_date, part_of, conn_count, conn_0 .. conn_3]
+//! Document        [id, title, text_len, text_base, part_back]
+//! CompositePart   [id, build_date, root_part, document, parts_list]
+//! BaseAssembly    [id, parent, comp_count, comp_base]
+//! ComplexAssembly [id, parent, level, sub_count, sub_base]
+//! Module          [id, design_root, manual]
+//! Manual          [id, title, text_len, text_base, module_back]
+//! ```
+//!
+//! Indices: a red-black tree mapping atomic-part id → part address, one
+//! mapping composite-part id → composite address, and one mapping
+//! `build_date * 2^20 + id` → part address (the build-date index used by
+//! range queries).
+
+use std::sync::Arc;
+
+use stm_core::backoff::FastRng;
+use stm_core::error::TxResult;
+use stm_core::tm::{ThreadContext, TmAlgorithm, Tx};
+use stm_core::word::{Addr, Word};
+
+use crate::structures::{RbTree, SortedList};
+
+// AtomicPart offsets.
+pub(crate) const AP_ID: usize = 0;
+pub(crate) const AP_X: usize = 1;
+pub(crate) const AP_Y: usize = 2;
+pub(crate) const AP_DATE: usize = 3;
+pub(crate) const AP_PART_OF: usize = 4;
+pub(crate) const AP_CONN_COUNT: usize = 5;
+pub(crate) const AP_CONN_BASE: usize = 6;
+pub(crate) const AP_MAX_CONN: usize = 4;
+pub(crate) const AP_WORDS: usize = AP_CONN_BASE + AP_MAX_CONN;
+
+// Document offsets.
+pub(crate) const DOC_ID: usize = 0;
+pub(crate) const DOC_TITLE: usize = 1;
+pub(crate) const DOC_TEXT_LEN: usize = 2;
+pub(crate) const DOC_TEXT_BASE: usize = 3;
+pub(crate) const DOC_PART_BACK: usize = 4;
+pub(crate) const DOC_WORDS: usize = 5;
+
+// CompositePart offsets.
+pub(crate) const CP_ID: usize = 0;
+pub(crate) const CP_DATE: usize = 1;
+pub(crate) const CP_ROOT_PART: usize = 2;
+pub(crate) const CP_DOCUMENT: usize = 3;
+pub(crate) const CP_PARTS_LIST: usize = 4;
+pub(crate) const CP_WORDS: usize = 5;
+
+// BaseAssembly offsets.
+pub(crate) const BA_ID: usize = 0;
+pub(crate) const BA_PARENT: usize = 1;
+pub(crate) const BA_COMP_COUNT: usize = 2;
+pub(crate) const BA_COMP_BASE: usize = 3;
+
+// ComplexAssembly offsets.
+pub(crate) const CA_ID: usize = 0;
+pub(crate) const CA_PARENT: usize = 1;
+pub(crate) const CA_LEVEL: usize = 2;
+pub(crate) const CA_SUB_COUNT: usize = 3;
+pub(crate) const CA_SUB_BASE: usize = 4;
+
+// Module offsets.
+pub(crate) const MOD_DESIGN_ROOT: usize = 1;
+pub(crate) const MOD_MANUAL: usize = 2;
+pub(crate) const MOD_WORDS: usize = 3;
+
+// Manual offsets.
+pub(crate) const MAN_TEXT_LEN: usize = 2;
+pub(crate) const MAN_TEXT_BASE: usize = 3;
+pub(crate) const MAN_WORDS: usize = 5;
+
+/// Marker stored in an assembly's first sub-pointer slot to distinguish base
+/// from complex assemblies during traversals.
+pub(crate) const LEVEL_BASE: Word = 1;
+
+/// Dimensions of the STMBench7 structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bench7Config {
+    /// Height of the complex-assembly tree (levels above base assemblies).
+    pub assembly_levels: u32,
+    /// Fan-out of every assembly (children per complex assembly, composite
+    /// parts per base assembly).
+    pub assembly_fanout: usize,
+    /// Number of composite parts in the shared pool.
+    pub composite_pool: usize,
+    /// Atomic parts per composite part.
+    pub parts_per_composite: usize,
+    /// Outgoing connections per atomic part (≤ 4).
+    pub connections_per_part: usize,
+    /// Words of text per document.
+    pub document_words: usize,
+    /// Words of text in the module manual.
+    pub manual_words: usize,
+}
+
+impl Bench7Config {
+    /// The default used by the experiment harness: large enough to produce
+    /// the paper's short/long transaction mix, small enough to build in a
+    /// fraction of a second.
+    pub fn medium() -> Self {
+        Bench7Config {
+            assembly_levels: 4,
+            assembly_fanout: 3,
+            composite_pool: 64,
+            parts_per_composite: 32,
+            connections_per_part: 3,
+            document_words: 16,
+            manual_words: 256,
+        }
+    }
+
+    /// A tiny structure for unit tests.
+    pub fn tiny() -> Self {
+        Bench7Config {
+            assembly_levels: 2,
+            assembly_fanout: 2,
+            composite_pool: 8,
+            parts_per_composite: 8,
+            connections_per_part: 2,
+            document_words: 4,
+            manual_words: 16,
+        }
+    }
+
+    /// Total number of atomic parts created at build time.
+    pub fn total_parts(&self) -> usize {
+        self.composite_pool * self.parts_per_composite
+    }
+}
+
+impl Default for Bench7Config {
+    fn default() -> Self {
+        Bench7Config::medium()
+    }
+}
+
+/// The built STMBench7 structure: heap addresses of the roots plus the
+/// indices, shared read-only between worker threads.
+#[derive(Clone, Debug)]
+pub struct Bench7Data {
+    config: Bench7Config,
+    module: Addr,
+    composites: Vec<Addr>,
+    part_index: RbTree,
+    composite_index: RbTree,
+    date_index: RbTree,
+    /// Highest atomic-part id assigned so far (ids grow as structural
+    /// modifications create parts). Stored in the heap so it is updated
+    /// transactionally.
+    id_counter: Addr,
+}
+
+impl Bench7Data {
+    /// Builds the object graph on the given STM instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is too small for the requested dimensions.
+    pub fn build<A: TmAlgorithm>(stm: &Arc<A>, config: Bench7Config, seed: u64) -> Self {
+        let heap = stm.heap();
+        let part_index = RbTree::create(heap).expect("heap exhausted building part index");
+        let composite_index =
+            RbTree::create(heap).expect("heap exhausted building composite index");
+        let date_index = RbTree::create(heap).expect("heap exhausted building date index");
+        let id_counter = heap.alloc_zeroed(1).expect("heap exhausted");
+
+        let data = Bench7Data {
+            config,
+            module: Addr::NULL,
+            composites: Vec::new(),
+            part_index,
+            composite_index,
+            date_index,
+            id_counter,
+        };
+        let mut data = data;
+
+        let mut ctx = ThreadContext::register(Arc::clone(stm));
+        let mut rng = FastRng::new(seed | 1);
+
+        // Composite part pool.
+        for c in 0..config.composite_pool {
+            let composite = ctx
+                .atomically(|tx| data.build_composite(tx, &mut rng.clone(), (c + 1) as Word))
+                .expect("composite construction failed");
+            // Advance the RNG deterministically per composite.
+            for _ in 0..config.parts_per_composite {
+                rng.next_u64();
+            }
+            data.composites.push(composite);
+        }
+
+        // Assembly hierarchy + module.
+        let module = ctx
+            .atomically(|tx| {
+                let manual = tx.alloc(MAN_WORDS)?;
+                let text = tx.alloc(config.manual_words.max(1))?;
+                tx.write_field(manual, MAN_TEXT_LEN, config.manual_words as Word)?;
+                tx.write_field(manual, MAN_TEXT_BASE, text.to_word())?;
+                let module = tx.alloc(MOD_WORDS)?;
+                tx.write_field(module, MOD_MANUAL, manual.to_word())?;
+                Ok(module)
+            })
+            .expect("module construction failed");
+        let root = data
+            .build_assembly(&mut ctx, &mut rng, config.assembly_levels, Addr::NULL)
+            .expect("assembly construction failed");
+        ctx.atomically(|tx| tx.write_field(module, MOD_DESIGN_ROOT, root.to_word()))
+            .expect("linking design root failed");
+        data.module = module;
+
+        // Seed the id counter with the number of pre-built parts.
+        ctx.atomically(|tx| {
+            tx.write(data.id_counter, config.total_parts() as Word)
+        })
+        .expect("seeding id counter failed");
+
+        data
+    }
+
+    fn build_composite<A: TmAlgorithm>(
+        &self,
+        tx: &mut Tx<'_, A>,
+        rng: &mut FastRng,
+        composite_id: Word,
+    ) -> TxResult<Addr> {
+        let config = self.config;
+        let composite = tx.alloc(CP_WORDS)?;
+        let document = tx.alloc(DOC_WORDS)?;
+        let text = tx.alloc(config.document_words.max(1))?;
+        let parts_list_header = tx.alloc(1)?;
+        let parts_list = SortedList::from_header(parts_list_header);
+
+        tx.write_field(composite, CP_ID, composite_id)?;
+        tx.write_field(composite, CP_DATE, 1000 + composite_id)?;
+        tx.write_field(composite, CP_DOCUMENT, document.to_word())?;
+        tx.write_field(composite, CP_PARTS_LIST, parts_list_header.to_word())?;
+        tx.write_field(document, DOC_ID, composite_id)?;
+        tx.write_field(document, DOC_TITLE, composite_id * 31)?;
+        tx.write_field(document, DOC_TEXT_LEN, config.document_words as Word)?;
+        tx.write_field(document, DOC_TEXT_BASE, text.to_word())?;
+        tx.write_field(document, DOC_PART_BACK, composite.to_word())?;
+
+        // Atomic parts connected in a ring plus random chords.
+        let mut parts = Vec::with_capacity(config.parts_per_composite);
+        for p in 0..config.parts_per_composite {
+            let id = (composite_id - 1) * config.parts_per_composite as Word + p as Word + 1;
+            let part = tx.alloc(AP_WORDS)?;
+            tx.write_field(part, AP_ID, id)?;
+            tx.write_field(part, AP_X, rng.next_below(1000))?;
+            tx.write_field(part, AP_Y, rng.next_below(1000))?;
+            tx.write_field(part, AP_DATE, 2000 + id % 500)?;
+            tx.write_field(part, AP_PART_OF, composite.to_word())?;
+            parts.push((id, part));
+        }
+        for (i, &(id, part)) in parts.iter().enumerate() {
+            let mut conns = Vec::with_capacity(config.connections_per_part);
+            // Ring connection keeps the graph connected.
+            conns.push(parts[(i + 1) % parts.len()].1);
+            while conns.len() < config.connections_per_part.min(AP_MAX_CONN) {
+                let target = parts[rng.next_below(parts.len() as u64) as usize].1;
+                conns.push(target);
+            }
+            tx.write_field(part, AP_CONN_COUNT, conns.len() as Word)?;
+            for (slot, conn) in conns.iter().enumerate() {
+                tx.write_field(part, AP_CONN_BASE + slot, conn.to_word())?;
+            }
+            parts_list.insert(tx, id, part.to_word())?;
+            self.part_index.insert(tx, id, part.to_word())?;
+            let date = tx.read_field(part, AP_DATE)?;
+            self.date_index.insert(tx, (date << 20) | id, part.to_word())?;
+        }
+        tx.write_field(composite, CP_ROOT_PART, parts[0].1.to_word())?;
+        self.composite_index
+            .insert(tx, composite_id, composite.to_word())?;
+        Ok(composite)
+    }
+
+    fn build_assembly<A: TmAlgorithm>(
+        &self,
+        ctx: &mut ThreadContext<A>,
+        rng: &mut FastRng,
+        level: u32,
+        parent: Addr,
+    ) -> Result<Addr, stm_core::error::StmError> {
+        let config = self.config;
+        if level <= 1 {
+            // Base assembly referencing `fanout` composites from the pool.
+            let picks: Vec<Addr> = (0..config.assembly_fanout)
+                .map(|_| self.composites[rng.next_below(self.composites.len() as u64) as usize])
+                .collect();
+            return ctx.atomically(|tx| {
+                let comp_base = tx.alloc(config.assembly_fanout)?;
+                for (i, comp) in picks.iter().enumerate() {
+                    tx.write(comp_base.offset(i), comp.to_word())?;
+                }
+                let assembly = tx.alloc(BA_COMP_BASE + 1)?;
+                tx.write_field(assembly, BA_ID, rng.next_u64() % 1_000_000)?;
+                tx.write_field(assembly, BA_PARENT, parent.to_word())?;
+                tx.write_field(assembly, BA_COMP_COUNT, picks.len() as Word)?;
+                tx.write_field(assembly, BA_COMP_BASE, comp_base.to_word())?;
+                Ok(assembly)
+            });
+        }
+        // Complex assembly: allocate the node, then build children.
+        let assembly = ctx.atomically(|tx| {
+            let sub_base = tx.alloc(config.assembly_fanout)?;
+            let assembly = tx.alloc(CA_SUB_BASE + 1)?;
+            tx.write_field(assembly, CA_ID, rng.next_u64() % 1_000_000)?;
+            tx.write_field(assembly, CA_PARENT, parent.to_word())?;
+            tx.write_field(assembly, CA_LEVEL, level as Word)?;
+            tx.write_field(assembly, CA_SUB_COUNT, config.assembly_fanout as Word)?;
+            tx.write_field(assembly, CA_SUB_BASE, sub_base.to_word())?;
+            Ok(assembly)
+        })?;
+        for i in 0..config.assembly_fanout {
+            let child = self.build_assembly(ctx, rng, level - 1, assembly)?;
+            ctx.atomically(|tx| {
+                let sub_base = Addr::from_word(tx.read_field(assembly, CA_SUB_BASE)?);
+                tx.write(sub_base.offset(i), child.to_word())
+            })?;
+        }
+        Ok(assembly)
+    }
+
+    /// The benchmark configuration.
+    pub fn config(&self) -> Bench7Config {
+        self.config
+    }
+
+    /// Address of the module record (the root of every long traversal).
+    pub fn module(&self) -> Addr {
+        self.module
+    }
+
+    /// Addresses of the composite-part pool.
+    pub fn composites(&self) -> &[Addr] {
+        &self.composites
+    }
+
+    /// The atomic-part id index.
+    pub fn part_index(&self) -> RbTree {
+        self.part_index
+    }
+
+    /// The composite-part id index.
+    pub fn composite_index(&self) -> RbTree {
+        self.composite_index
+    }
+
+    /// The build-date index.
+    pub fn date_index(&self) -> RbTree {
+        self.date_index
+    }
+
+    /// Heap word holding the highest assigned atomic-part id.
+    pub fn id_counter(&self) -> Addr {
+        self.id_counter
+    }
+
+    /// Structural sanity check used after benchmark runs: the indices keep
+    /// their red-black invariants and the module still reaches a design
+    /// root.
+    pub fn check<A: TmAlgorithm>(&self, ctx: &mut ThreadContext<A>) -> bool {
+        ctx.atomically(|tx| {
+            Ok(self.part_index.check_invariants(tx)?
+                && self.composite_index.check_invariants(tx)?
+                && self.date_index.check_invariants(tx)?
+                && !Addr::from_word(tx.read_field(self.module, MOD_DESIGN_ROOT)?).is_null())
+        })
+        .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_core::config::{HeapConfig, LockTableConfig, StmConfig};
+    use swisstm::SwissTm;
+
+    fn stm() -> Arc<SwissTm> {
+        Arc::new(SwissTm::with_config(StmConfig {
+            heap: HeapConfig::with_words(1 << 20),
+            lock_table: LockTableConfig::small(),
+        }))
+    }
+
+    #[test]
+    fn build_produces_expected_part_count() {
+        let stm = stm();
+        let data = Bench7Data::build(&stm, Bench7Config::tiny(), 3);
+        let mut ctx = ThreadContext::register(Arc::clone(&stm));
+        let count = ctx.atomically(|tx| data.part_index().len(tx)).unwrap();
+        assert_eq!(count, Bench7Config::tiny().total_parts() as u64);
+        assert_eq!(data.composites().len(), Bench7Config::tiny().composite_pool);
+    }
+
+    #[test]
+    fn parts_are_reachable_from_their_composite() {
+        let stm = stm();
+        let data = Bench7Data::build(&stm, Bench7Config::tiny(), 9);
+        let mut ctx = ThreadContext::register(Arc::clone(&stm));
+        let composite = data.composites()[0];
+        let ok = ctx
+            .atomically(|tx| {
+                let root = Addr::from_word(tx.read_field(composite, CP_ROOT_PART)?);
+                let part_of = Addr::from_word(tx.read_field(root, AP_PART_OF)?);
+                Ok(part_of == composite)
+            })
+            .unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn connections_stay_within_the_composite() {
+        let stm = stm();
+        let data = Bench7Data::build(&stm, Bench7Config::tiny(), 5);
+        let mut ctx = ThreadContext::register(Arc::clone(&stm));
+        for &composite in data.composites() {
+            let ok = ctx
+                .atomically(|tx| {
+                    let root = Addr::from_word(tx.read_field(composite, CP_ROOT_PART)?);
+                    let conn_count = tx.read_field(root, AP_CONN_COUNT)? as usize;
+                    for i in 0..conn_count {
+                        let conn = Addr::from_word(tx.read_field(root, AP_CONN_BASE + i)?);
+                        if Addr::from_word(tx.read_field(conn, AP_PART_OF)?) != composite {
+                            return Ok(false);
+                        }
+                    }
+                    Ok(true)
+                })
+                .unwrap();
+            assert!(ok);
+        }
+    }
+
+    #[test]
+    fn id_counter_matches_total_parts() {
+        let stm = stm();
+        let data = Bench7Data::build(&stm, Bench7Config::tiny(), 5);
+        let mut ctx = ThreadContext::register(stm);
+        let counter = ctx.read_word(data.id_counter()).unwrap();
+        assert_eq!(counter, Bench7Config::tiny().total_parts() as u64);
+    }
+}

@@ -1,0 +1,26 @@
+//! Transactional data structures.
+//!
+//! Everything the benchmark workloads manipulate lives in the shared
+//! transactional heap as blocks of consecutive words ("records") linked by
+//! heap addresses. The structures in this module encapsulate those layouts
+//! behind ordinary Rust APIs that take a [`stm_core::tm::Tx`] handle:
+//!
+//! * [`rbtree::RbTree`] — a red-black tree map (the paper's microbenchmark
+//!   structure and the backbone of several STAMP kernels),
+//! * [`list::SortedList`] — a sorted singly-linked list,
+//! * [`hashmap::HashMap`] — a fixed-bucket chained hash map,
+//! * [`queue::Queue`] — a FIFO queue.
+//!
+//! All structures are `Copy` handles (they only store heap addresses), so
+//! they can be shared freely between threads; the STM provides the
+//! synchronisation.
+
+pub mod hashmap;
+pub mod list;
+pub mod queue;
+pub mod rbtree;
+
+pub use hashmap::HashMap;
+pub use list::SortedList;
+pub use queue::Queue;
+pub use rbtree::RbTree;

@@ -1,0 +1,687 @@
+//! A transactional red-black tree map.
+//!
+//! This is the data structure of the paper's microbenchmark (Figure 5 and
+//! 10) and the backbone of the vacation STAMP kernel and the STMBench7
+//! indices. It is a textbook (CLRS) red-black tree with parent pointers,
+//! translated so that every field access is a transactional word access.
+//!
+//! Layout: the tree handle is `[root, size]`; each node is six consecutive
+//! words `[key, value, color, left, right, parent]`. `Addr::NULL` plays the
+//! role of the nil leaf; to avoid turning a shared nil sentinel into a
+//! write hot spot, the delete fix-up tracks the parent of the "current"
+//! node explicitly instead of storing a parent pointer inside nil.
+
+use stm_core::error::TxResult;
+use stm_core::heap::TmHeap;
+use stm_core::tm::{TmAlgorithm, Tx};
+use stm_core::word::{Addr, Word};
+
+const ROOT: usize = 0;
+const SIZE: usize = 1;
+const HEADER_WORDS: usize = 2;
+
+const KEY: usize = 0;
+const VALUE: usize = 1;
+const COLOR: usize = 2;
+const LEFT: usize = 3;
+const RIGHT: usize = 4;
+const PARENT: usize = 5;
+const NODE_WORDS: usize = 6;
+
+const RED: Word = 0;
+const BLACK: Word = 1;
+
+/// Handle to a transactional red-black tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RbTree {
+    header: Addr,
+}
+
+impl RbTree {
+    /// Creates an empty tree (non-transactionally, during set-up).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the heap is exhausted.
+    pub fn create(heap: &TmHeap) -> Result<Self, stm_core::error::StmError> {
+        let header = heap.alloc_zeroed(HEADER_WORDS)?;
+        Ok(RbTree { header })
+    }
+
+    fn root<A: TmAlgorithm>(&self, tx: &mut Tx<'_, A>) -> TxResult<Addr> {
+        tx.read_addr(self.header.offset(ROOT))
+    }
+
+    fn set_root<A: TmAlgorithm>(&self, tx: &mut Tx<'_, A>, node: Addr) -> TxResult<()> {
+        tx.write_addr(self.header.offset(ROOT), node)
+    }
+
+    /// Number of keys in the tree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn len<A: TmAlgorithm>(&self, tx: &mut Tx<'_, A>) -> TxResult<u64> {
+        tx.read(self.header.offset(SIZE))
+    }
+
+    fn color<A: TmAlgorithm>(&self, tx: &mut Tx<'_, A>, node: Addr) -> TxResult<Word> {
+        if node.is_null() {
+            Ok(BLACK)
+        } else {
+            tx.read_field(node, COLOR)
+        }
+    }
+
+    fn set_color<A: TmAlgorithm>(
+        &self,
+        tx: &mut Tx<'_, A>,
+        node: Addr,
+        color: Word,
+    ) -> TxResult<()> {
+        if node.is_null() {
+            return Ok(());
+        }
+        tx.write_field(node, COLOR, color)
+    }
+
+    fn left<A: TmAlgorithm>(&self, tx: &mut Tx<'_, A>, node: Addr) -> TxResult<Addr> {
+        Ok(Addr::from_word(tx.read_field(node, LEFT)?))
+    }
+
+    fn right<A: TmAlgorithm>(&self, tx: &mut Tx<'_, A>, node: Addr) -> TxResult<Addr> {
+        Ok(Addr::from_word(tx.read_field(node, RIGHT)?))
+    }
+
+    fn parent<A: TmAlgorithm>(&self, tx: &mut Tx<'_, A>, node: Addr) -> TxResult<Addr> {
+        Ok(Addr::from_word(tx.read_field(node, PARENT)?))
+    }
+
+    fn set_parent<A: TmAlgorithm>(
+        &self,
+        tx: &mut Tx<'_, A>,
+        node: Addr,
+        parent: Addr,
+    ) -> TxResult<()> {
+        if node.is_null() {
+            return Ok(());
+        }
+        tx.write_field(node, PARENT, parent.to_word())
+    }
+
+    /// Looks up the value stored under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn get<A: TmAlgorithm>(&self, tx: &mut Tx<'_, A>, key: Word) -> TxResult<Option<Word>> {
+        let mut node = self.root(tx)?;
+        while !node.is_null() {
+            let node_key = tx.read_field(node, KEY)?;
+            if key == node_key {
+                return Ok(Some(tx.read_field(node, VALUE)?));
+            }
+            node = if key < node_key {
+                self.left(tx, node)?
+            } else {
+                self.right(tx, node)?
+            };
+        }
+        Ok(None)
+    }
+
+    /// Returns `true` if `key` is present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn contains<A: TmAlgorithm>(&self, tx: &mut Tx<'_, A>, key: Word) -> TxResult<bool> {
+        Ok(self.get(tx, key)?.is_some())
+    }
+
+    fn rotate_left<A: TmAlgorithm>(&self, tx: &mut Tx<'_, A>, x: Addr) -> TxResult<()> {
+        let y = self.right(tx, x)?;
+        let y_left = self.left(tx, y)?;
+        tx.write_field(x, RIGHT, y_left.to_word())?;
+        self.set_parent(tx, y_left, x)?;
+        let x_parent = self.parent(tx, x)?;
+        tx.write_field(y, PARENT, x_parent.to_word())?;
+        if x_parent.is_null() {
+            self.set_root(tx, y)?;
+        } else if self.left(tx, x_parent)? == x {
+            tx.write_field(x_parent, LEFT, y.to_word())?;
+        } else {
+            tx.write_field(x_parent, RIGHT, y.to_word())?;
+        }
+        tx.write_field(y, LEFT, x.to_word())?;
+        tx.write_field(x, PARENT, y.to_word())?;
+        Ok(())
+    }
+
+    fn rotate_right<A: TmAlgorithm>(&self, tx: &mut Tx<'_, A>, x: Addr) -> TxResult<()> {
+        let y = self.left(tx, x)?;
+        let y_right = self.right(tx, y)?;
+        tx.write_field(x, LEFT, y_right.to_word())?;
+        self.set_parent(tx, y_right, x)?;
+        let x_parent = self.parent(tx, x)?;
+        tx.write_field(y, PARENT, x_parent.to_word())?;
+        if x_parent.is_null() {
+            self.set_root(tx, y)?;
+        } else if self.right(tx, x_parent)? == x {
+            tx.write_field(x_parent, RIGHT, y.to_word())?;
+        } else {
+            tx.write_field(x_parent, LEFT, y.to_word())?;
+        }
+        tx.write_field(y, RIGHT, x.to_word())?;
+        tx.write_field(x, PARENT, y.to_word())?;
+        Ok(())
+    }
+
+    /// Inserts `key -> value`. Returns `false` if the key already existed
+    /// (its value is updated in place).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn insert<A: TmAlgorithm>(
+        &self,
+        tx: &mut Tx<'_, A>,
+        key: Word,
+        value: Word,
+    ) -> TxResult<bool> {
+        let mut parent = Addr::NULL;
+        let mut node = self.root(tx)?;
+        while !node.is_null() {
+            let node_key = tx.read_field(node, KEY)?;
+            if key == node_key {
+                tx.write_field(node, VALUE, value)?;
+                return Ok(false);
+            }
+            parent = node;
+            node = if key < node_key {
+                self.left(tx, node)?
+            } else {
+                self.right(tx, node)?
+            };
+        }
+
+        let z = tx.alloc(NODE_WORDS)?;
+        tx.write_field(z, KEY, key)?;
+        tx.write_field(z, VALUE, value)?;
+        tx.write_field(z, COLOR, RED)?;
+        tx.write_field(z, LEFT, Addr::NULL.to_word())?;
+        tx.write_field(z, RIGHT, Addr::NULL.to_word())?;
+        tx.write_field(z, PARENT, parent.to_word())?;
+
+        if parent.is_null() {
+            self.set_root(tx, z)?;
+        } else if key < tx.read_field(parent, KEY)? {
+            tx.write_field(parent, LEFT, z.to_word())?;
+        } else {
+            tx.write_field(parent, RIGHT, z.to_word())?;
+        }
+
+        self.insert_fixup(tx, z)?;
+
+        let size = tx.read(self.header.offset(SIZE))?;
+        tx.write(self.header.offset(SIZE), size + 1)?;
+        Ok(true)
+    }
+
+    fn insert_fixup<A: TmAlgorithm>(&self, tx: &mut Tx<'_, A>, mut z: Addr) -> TxResult<()> {
+        loop {
+            let z_parent = self.parent(tx, z)?;
+            if z_parent.is_null() || self.color(tx, z_parent)? == BLACK {
+                break;
+            }
+            let grandparent = self.parent(tx, z_parent)?;
+            if z_parent == self.left(tx, grandparent)? {
+                let uncle = self.right(tx, grandparent)?;
+                if self.color(tx, uncle)? == RED {
+                    self.set_color(tx, z_parent, BLACK)?;
+                    self.set_color(tx, uncle, BLACK)?;
+                    self.set_color(tx, grandparent, RED)?;
+                    z = grandparent;
+                } else {
+                    if z == self.right(tx, z_parent)? {
+                        z = z_parent;
+                        self.rotate_left(tx, z)?;
+                    }
+                    let z_parent = self.parent(tx, z)?;
+                    let grandparent = self.parent(tx, z_parent)?;
+                    self.set_color(tx, z_parent, BLACK)?;
+                    self.set_color(tx, grandparent, RED)?;
+                    self.rotate_right(tx, grandparent)?;
+                }
+            } else {
+                let uncle = self.left(tx, grandparent)?;
+                if self.color(tx, uncle)? == RED {
+                    self.set_color(tx, z_parent, BLACK)?;
+                    self.set_color(tx, uncle, BLACK)?;
+                    self.set_color(tx, grandparent, RED)?;
+                    z = grandparent;
+                } else {
+                    if z == self.left(tx, z_parent)? {
+                        z = z_parent;
+                        self.rotate_right(tx, z)?;
+                    }
+                    let z_parent = self.parent(tx, z)?;
+                    let grandparent = self.parent(tx, z_parent)?;
+                    self.set_color(tx, z_parent, BLACK)?;
+                    self.set_color(tx, grandparent, RED)?;
+                    self.rotate_left(tx, grandparent)?;
+                }
+            }
+        }
+        let root = self.root(tx)?;
+        self.set_color(tx, root, BLACK)
+    }
+
+    fn minimum<A: TmAlgorithm>(&self, tx: &mut Tx<'_, A>, mut node: Addr) -> TxResult<Addr> {
+        loop {
+            let left = self.left(tx, node)?;
+            if left.is_null() {
+                return Ok(node);
+            }
+            node = left;
+        }
+    }
+
+    /// Replaces the subtree rooted at `u` with the one rooted at `v`.
+    fn transplant<A: TmAlgorithm>(
+        &self,
+        tx: &mut Tx<'_, A>,
+        u: Addr,
+        v: Addr,
+    ) -> TxResult<()> {
+        let u_parent = self.parent(tx, u)?;
+        if u_parent.is_null() {
+            self.set_root(tx, v)?;
+        } else if self.left(tx, u_parent)? == u {
+            tx.write_field(u_parent, LEFT, v.to_word())?;
+        } else {
+            tx.write_field(u_parent, RIGHT, v.to_word())?;
+        }
+        self.set_parent(tx, v, u_parent)?;
+        Ok(())
+    }
+
+    /// Removes `key`. Returns `true` if the key was present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn remove<A: TmAlgorithm>(&self, tx: &mut Tx<'_, A>, key: Word) -> TxResult<bool> {
+        // Find the node.
+        let mut z = self.root(tx)?;
+        while !z.is_null() {
+            let z_key = tx.read_field(z, KEY)?;
+            if key == z_key {
+                break;
+            }
+            z = if key < z_key {
+                self.left(tx, z)?
+            } else {
+                self.right(tx, z)?
+            };
+        }
+        if z.is_null() {
+            return Ok(false);
+        }
+
+        let mut y = z;
+        let mut y_original_color = self.color(tx, y)?;
+        let x;
+        let x_parent;
+
+        let z_left = self.left(tx, z)?;
+        let z_right = self.right(tx, z)?;
+        if z_left.is_null() {
+            x = z_right;
+            x_parent = self.parent(tx, z)?;
+            self.transplant(tx, z, z_right)?;
+        } else if z_right.is_null() {
+            x = z_left;
+            x_parent = self.parent(tx, z)?;
+            self.transplant(tx, z, z_left)?;
+        } else {
+            y = self.minimum(tx, z_right)?;
+            y_original_color = self.color(tx, y)?;
+            x = self.right(tx, y)?;
+            if self.parent(tx, y)? == z {
+                x_parent = y;
+                self.set_parent(tx, x, y)?;
+            } else {
+                x_parent = self.parent(tx, y)?;
+                self.transplant(tx, y, x)?;
+                let z_right_now = self.right(tx, z)?;
+                tx.write_field(y, RIGHT, z_right_now.to_word())?;
+                self.set_parent(tx, z_right_now, y)?;
+            }
+            self.transplant(tx, z, y)?;
+            let z_left_now = self.left(tx, z)?;
+            tx.write_field(y, LEFT, z_left_now.to_word())?;
+            self.set_parent(tx, z_left_now, y)?;
+            let z_color = self.color(tx, z)?;
+            self.set_color(tx, y, z_color)?;
+        }
+
+        if y_original_color == BLACK {
+            self.delete_fixup(tx, x, x_parent)?;
+        }
+
+        tx.free(z, NODE_WORDS);
+        let size = tx.read(self.header.offset(SIZE))?;
+        tx.write(self.header.offset(SIZE), size.saturating_sub(1))?;
+        Ok(true)
+    }
+
+    /// CLRS delete fix-up where the parent of `x` is tracked explicitly so
+    /// that `x` may be `Addr::NULL` without a shared nil sentinel.
+    fn delete_fixup<A: TmAlgorithm>(
+        &self,
+        tx: &mut Tx<'_, A>,
+        mut x: Addr,
+        mut parent: Addr,
+    ) -> TxResult<()> {
+        loop {
+            let root = self.root(tx)?;
+            if x == root || self.color(tx, x)? == RED {
+                break;
+            }
+            if x == self.left(tx, parent)? {
+                let mut w = self.right(tx, parent)?;
+                if self.color(tx, w)? == RED {
+                    self.set_color(tx, w, BLACK)?;
+                    self.set_color(tx, parent, RED)?;
+                    self.rotate_left(tx, parent)?;
+                    w = self.right(tx, parent)?;
+                }
+                let w_left = self.left(tx, w)?;
+                let w_right = self.right(tx, w)?;
+                if self.color(tx, w_left)? == BLACK && self.color(tx, w_right)? == BLACK {
+                    self.set_color(tx, w, RED)?;
+                    x = parent;
+                    parent = self.parent(tx, x)?;
+                } else {
+                    if self.color(tx, w_right)? == BLACK {
+                        self.set_color(tx, w_left, BLACK)?;
+                        self.set_color(tx, w, RED)?;
+                        self.rotate_right(tx, w)?;
+                        w = self.right(tx, parent)?;
+                    }
+                    let parent_color = self.color(tx, parent)?;
+                    self.set_color(tx, w, parent_color)?;
+                    self.set_color(tx, parent, BLACK)?;
+                    let w_right = self.right(tx, w)?;
+                    self.set_color(tx, w_right, BLACK)?;
+                    self.rotate_left(tx, parent)?;
+                    x = self.root(tx)?;
+                    parent = Addr::NULL;
+                }
+            } else {
+                let mut w = self.left(tx, parent)?;
+                if self.color(tx, w)? == RED {
+                    self.set_color(tx, w, BLACK)?;
+                    self.set_color(tx, parent, RED)?;
+                    self.rotate_right(tx, parent)?;
+                    w = self.left(tx, parent)?;
+                }
+                let w_left = self.left(tx, w)?;
+                let w_right = self.right(tx, w)?;
+                if self.color(tx, w_left)? == BLACK && self.color(tx, w_right)? == BLACK {
+                    self.set_color(tx, w, RED)?;
+                    x = parent;
+                    parent = self.parent(tx, x)?;
+                } else {
+                    if self.color(tx, w_left)? == BLACK {
+                        self.set_color(tx, w_right, BLACK)?;
+                        self.set_color(tx, w, RED)?;
+                        self.rotate_left(tx, w)?;
+                        w = self.left(tx, parent)?;
+                    }
+                    let parent_color = self.color(tx, parent)?;
+                    self.set_color(tx, w, parent_color)?;
+                    self.set_color(tx, parent, BLACK)?;
+                    let w_left = self.left(tx, w)?;
+                    self.set_color(tx, w_left, BLACK)?;
+                    self.rotate_right(tx, parent)?;
+                    x = self.root(tx)?;
+                    parent = Addr::NULL;
+                }
+            }
+        }
+        self.set_color(tx, x, BLACK)
+    }
+
+    /// Collects all keys in ascending order (iterative in-order traversal).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn keys<A: TmAlgorithm>(&self, tx: &mut Tx<'_, A>) -> TxResult<Vec<Word>> {
+        let mut keys = Vec::new();
+        let mut stack = Vec::new();
+        let mut node = self.root(tx)?;
+        while !node.is_null() || !stack.is_empty() {
+            while !node.is_null() {
+                stack.push(node);
+                node = self.left(tx, node)?;
+            }
+            let top = stack.pop().expect("stack cannot be empty here");
+            keys.push(tx.read_field(top, KEY)?);
+            node = self.right(tx, top)?;
+        }
+        Ok(keys)
+    }
+
+    /// Checks the red-black invariants (used by tests and the workloads'
+    /// post-run consistency checks): the root is black, no red node has a
+    /// red child, every root-to-leaf path has the same number of black
+    /// nodes, and keys are in search-tree order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn check_invariants<A: TmAlgorithm>(&self, tx: &mut Tx<'_, A>) -> TxResult<bool> {
+        let root = self.root(tx)?;
+        if root.is_null() {
+            return Ok(true);
+        }
+        if self.color(tx, root)? != BLACK {
+            return Ok(false);
+        }
+        let keys = self.keys(tx)?;
+        if keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Ok(false);
+        }
+        if keys.len() as u64 != self.len(tx)? {
+            return Ok(false);
+        }
+        Ok(self.black_height(tx, root)?.is_some())
+    }
+
+    /// Returns `Some(black_height)` when the subtree satisfies the red-black
+    /// invariants, `None` otherwise.
+    fn black_height<A: TmAlgorithm>(
+        &self,
+        tx: &mut Tx<'_, A>,
+        node: Addr,
+    ) -> TxResult<Option<u32>> {
+        if node.is_null() {
+            return Ok(Some(1));
+        }
+        let color = self.color(tx, node)?;
+        let left = self.left(tx, node)?;
+        let right = self.right(tx, node)?;
+        if color == RED
+            && (self.color(tx, left)? == RED || self.color(tx, right)? == RED)
+        {
+            return Ok(None);
+        }
+        let lh = self.black_height(tx, left)?;
+        let rh = self.black_height(tx, right)?;
+        match (lh, rh) {
+            (Some(l), Some(r)) if l == r => Ok(Some(l + u32::from(color == BLACK))),
+            _ => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+    use stm_core::config::HeapConfig;
+    use stm_core::naive::NaiveGlobalLockTm;
+    use stm_core::tm::ThreadContext;
+
+    fn setup() -> (Arc<NaiveGlobalLockTm>, RbTree) {
+        let stm = Arc::new(NaiveGlobalLockTm::new(HeapConfig::medium()));
+        let tree = RbTree::create(stm.heap()).unwrap();
+        (stm, tree)
+    }
+
+    #[test]
+    fn insert_get_contains() {
+        let (stm, tree) = setup();
+        let mut ctx = ThreadContext::register(stm);
+        ctx.atomically(|tx| {
+            assert!(tree.insert(tx, 10, 100)?);
+            assert!(tree.insert(tx, 5, 50)?);
+            assert!(tree.insert(tx, 15, 150)?);
+            assert!(!tree.insert(tx, 10, 101)?);
+            Ok(())
+        })
+        .unwrap();
+        let (ten, five, missing, len) = ctx
+            .atomically(|tx| {
+                Ok((
+                    tree.get(tx, 10)?,
+                    tree.get(tx, 5)?,
+                    tree.get(tx, 99)?,
+                    tree.len(tx)?,
+                ))
+            })
+            .unwrap();
+        assert_eq!(ten, Some(101));
+        assert_eq!(five, Some(50));
+        assert_eq!(missing, None);
+        assert_eq!(len, 3);
+    }
+
+    #[test]
+    fn ascending_inserts_stay_balanced() {
+        let (stm, tree) = setup();
+        let mut ctx = ThreadContext::register(stm);
+        for key in 0..256u64 {
+            ctx.atomically(|tx| tree.insert(tx, key, key)).unwrap();
+        }
+        let (ok, keys) = ctx
+            .atomically(|tx| Ok((tree.check_invariants(tx)?, tree.keys(tx)?)))
+            .unwrap();
+        assert!(ok, "red-black invariants violated");
+        assert_eq!(keys, (0..256u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn removals_keep_invariants() {
+        let (stm, tree) = setup();
+        let mut ctx = ThreadContext::register(stm);
+        for key in 0..128u64 {
+            ctx.atomically(|tx| tree.insert(tx, key, key)).unwrap();
+        }
+        // Remove every other key, then check.
+        for key in (0..128u64).step_by(2) {
+            let removed = ctx.atomically(|tx| tree.remove(tx, key)).unwrap();
+            assert!(removed);
+        }
+        let (ok, len) = ctx
+            .atomically(|tx| Ok((tree.check_invariants(tx)?, tree.len(tx)?)))
+            .unwrap();
+        assert!(ok);
+        assert_eq!(len, 64);
+        for key in 0..128u64 {
+            let present = ctx.atomically(|tx| tree.contains(tx, key)).unwrap();
+            assert_eq!(present, key % 2 == 1, "key {key}");
+        }
+    }
+
+    #[test]
+    fn remove_missing_key_is_a_noop() {
+        let (stm, tree) = setup();
+        let mut ctx = ThreadContext::register(stm);
+        ctx.atomically(|tx| tree.insert(tx, 1, 1)).unwrap();
+        let removed = ctx.atomically(|tx| tree.remove(tx, 2)).unwrap();
+        assert!(!removed);
+        let len = ctx.atomically(|tx| tree.len(tx)).unwrap();
+        assert_eq!(len, 1);
+    }
+
+    #[test]
+    fn concurrent_inserts_are_all_present() {
+        let stm = Arc::new(NaiveGlobalLockTm::new(HeapConfig::medium()));
+        let tree = RbTree::create(stm.heap()).unwrap();
+        let per_thread = 200u64;
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let stm = Arc::clone(&stm);
+                std::thread::spawn(move || {
+                    let mut ctx = ThreadContext::register(stm);
+                    for i in 0..per_thread {
+                        let key = t * per_thread + i;
+                        ctx.atomically(|tx| tree.insert(tx, key, key)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut ctx = ThreadContext::register(stm);
+        let (ok, len) = ctx
+            .atomically(|tx| Ok((tree.check_invariants(tx)?, tree.len(tx)?)))
+            .unwrap();
+        assert!(ok);
+        assert_eq!(len, 4 * per_thread);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The transactional tree behaves exactly like `BTreeMap` under a
+        /// random sequence of inserts, removals and lookups, and keeps its
+        /// red-black invariants throughout.
+        #[test]
+        fn behaves_like_btreemap(ops in prop::collection::vec((0u8..3, 0u64..64, 0u64..1000), 1..200)) {
+            let (stm, tree) = setup();
+            let mut ctx = ThreadContext::register(stm);
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+            for (op, key, value) in ops {
+                match op {
+                    0 => {
+                        let inserted = ctx.atomically(|tx| tree.insert(tx, key, value)).unwrap();
+                        let model_inserted = model.insert(key, value).is_none();
+                        prop_assert_eq!(inserted, model_inserted);
+                    }
+                    1 => {
+                        let removed = ctx.atomically(|tx| tree.remove(tx, key)).unwrap();
+                        prop_assert_eq!(removed, model.remove(&key).is_some());
+                    }
+                    _ => {
+                        let got = ctx.atomically(|tx| tree.get(tx, key)).unwrap();
+                        prop_assert_eq!(got, model.get(&key).copied());
+                    }
+                }
+            }
+            let (ok, keys, len) = ctx
+                .atomically(|tx| Ok((tree.check_invariants(tx)?, tree.keys(tx)?, tree.len(tx)?)))
+                .unwrap();
+            prop_assert!(ok);
+            prop_assert_eq!(keys, model.keys().copied().collect::<Vec<_>>());
+            prop_assert_eq!(len as usize, model.len());
+        }
+    }
+}

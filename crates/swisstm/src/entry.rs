@@ -1,0 +1,221 @@
+//! Lock-table stripe entries: the `r-lock` / `w-lock` pair.
+//!
+//! Each stripe of consecutive heap words maps to one [`StripeEntry`]
+//! (paper §3, §3.3):
+//!
+//! * the **write lock** (`w-lock`) is `0` when free and otherwise encodes
+//!   the owning thread slot. It is acquired eagerly with a compare-and-swap
+//!   at a transaction's first write to the stripe, and simply overwritten
+//!   with `0` on release (only the owner releases it).
+//! * the **read lock** (`r-lock`) stores the stripe's version number
+//!   shifted left by one (so its least-significant bit is `0`) when
+//!   unlocked, and the value `1` while the owning writer is committing.
+//!   Only the transaction holding the corresponding write lock ever locks
+//!   the read lock, so no compare-and-swap is needed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use stm_core::clock::ThreadSlot;
+
+/// Value of an unlocked write lock.
+const W_UNLOCKED: u64 = 0;
+/// Value of a locked read lock.
+const R_LOCKED: u64 = 1;
+
+/// Decoded state of a stripe's write lock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteLockState {
+    /// Nobody owns the stripe.
+    Unlocked,
+    /// The stripe is owned by the transaction running on this thread slot.
+    LockedBy(ThreadSlot),
+}
+
+/// Decoded state of a stripe's read lock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadLockState {
+    /// The stripe is not being committed; `version` is its current version.
+    Unlocked {
+        /// Commit timestamp of the last committed writer of the stripe.
+        version: u64,
+    },
+    /// The owning writer is committing the stripe right now.
+    Locked,
+}
+
+/// One lock-table entry: the pair of locks guarding a stripe of heap words.
+#[derive(Debug, Default)]
+pub struct StripeEntry {
+    w_lock: AtomicU64,
+    r_lock: AtomicU64,
+}
+
+impl StripeEntry {
+    /// Encodes a thread slot as a write-lock owner tag.
+    #[inline]
+    fn owner_tag(slot: ThreadSlot) -> u64 {
+        slot.index() as u64 + 1
+    }
+
+    /// Current state of the write lock.
+    #[inline]
+    pub fn write_lock(&self) -> WriteLockState {
+        match self.w_lock.load(Ordering::Acquire) {
+            W_UNLOCKED => WriteLockState::Unlocked,
+            tag => WriteLockState::LockedBy(ThreadSlot::new((tag - 1) as usize)),
+        }
+    }
+
+    /// Returns `true` if the write lock is held by `slot`.
+    #[inline]
+    pub fn is_write_locked_by(&self, slot: ThreadSlot) -> bool {
+        self.w_lock.load(Ordering::Acquire) == Self::owner_tag(slot)
+    }
+
+    /// Attempts to acquire the write lock for `slot`. Returns `true` on
+    /// success.
+    #[inline]
+    pub fn try_acquire_write(&self, slot: ThreadSlot) -> bool {
+        self.w_lock
+            .compare_exchange(
+                W_UNLOCKED,
+                Self::owner_tag(slot),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Releases the write lock. Only the owner may call this.
+    #[inline]
+    pub fn release_write(&self) {
+        self.w_lock.store(W_UNLOCKED, Ordering::Release);
+    }
+
+    /// Current state of the read lock.
+    #[inline]
+    pub fn read_lock(&self) -> ReadLockState {
+        let raw = self.r_lock.load(Ordering::Acquire);
+        if raw & 1 == R_LOCKED {
+            ReadLockState::Locked
+        } else {
+            ReadLockState::Unlocked { version: raw >> 1 }
+        }
+    }
+
+    /// Raw read-lock word (used by the read-word consistency loop, which
+    /// needs to compare two samples for equality regardless of state).
+    #[inline]
+    pub fn read_lock_raw(&self) -> u64 {
+        self.r_lock.load(Ordering::Acquire)
+    }
+
+    /// Decodes a raw read-lock sample.
+    #[inline]
+    pub fn decode_read_lock(raw: u64) -> ReadLockState {
+        if raw & 1 == R_LOCKED {
+            ReadLockState::Locked
+        } else {
+            ReadLockState::Unlocked { version: raw >> 1 }
+        }
+    }
+
+    /// Locks the read lock for commit. Only the write-lock owner may call
+    /// this; plain stores suffice (paper §3.3).
+    #[inline]
+    pub fn lock_read(&self) {
+        self.r_lock.store(R_LOCKED, Ordering::Release);
+    }
+
+    /// Restores the read lock to a previously observed version (used when
+    /// commit-time validation fails).
+    #[inline]
+    pub fn restore_read_version(&self, version: u64) {
+        self.r_lock.store(version << 1, Ordering::Release);
+    }
+
+    /// Publishes a new version (the committing transaction's timestamp) and
+    /// thereby unlocks the read lock.
+    #[inline]
+    pub fn publish_version(&self, version: u64) {
+        self.r_lock.store(version << 1, Ordering::Release);
+    }
+
+    /// Convenience: the current version if unlocked.
+    #[inline]
+    pub fn version(&self) -> Option<u64> {
+        match self.read_lock() {
+            ReadLockState::Unlocked { version } => Some(version),
+            ReadLockState::Locked => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_entry_is_unlocked_with_version_zero() {
+        let e = StripeEntry::default();
+        assert_eq!(e.write_lock(), WriteLockState::Unlocked);
+        assert_eq!(e.read_lock(), ReadLockState::Unlocked { version: 0 });
+        assert_eq!(e.version(), Some(0));
+    }
+
+    #[test]
+    fn write_lock_acquire_release() {
+        let e = StripeEntry::default();
+        let a = ThreadSlot::new(0);
+        let b = ThreadSlot::new(1);
+        assert!(e.try_acquire_write(a));
+        assert!(e.is_write_locked_by(a));
+        assert!(!e.is_write_locked_by(b));
+        assert_eq!(e.write_lock(), WriteLockState::LockedBy(a));
+        // Second acquisition fails until released.
+        assert!(!e.try_acquire_write(b));
+        e.release_write();
+        assert!(e.try_acquire_write(b));
+        assert_eq!(e.write_lock(), WriteLockState::LockedBy(b));
+    }
+
+    #[test]
+    fn read_lock_version_cycle() {
+        let e = StripeEntry::default();
+        e.lock_read();
+        assert_eq!(e.read_lock(), ReadLockState::Locked);
+        assert_eq!(e.version(), None);
+        e.publish_version(7);
+        assert_eq!(e.read_lock(), ReadLockState::Unlocked { version: 7 });
+        e.lock_read();
+        e.restore_read_version(7);
+        assert_eq!(e.version(), Some(7));
+    }
+
+    #[test]
+    fn decode_matches_raw_samples() {
+        let e = StripeEntry::default();
+        e.publish_version(42);
+        let raw = e.read_lock_raw();
+        assert_eq!(
+            StripeEntry::decode_read_lock(raw),
+            ReadLockState::Unlocked { version: 42 }
+        );
+        e.lock_read();
+        assert_eq!(
+            StripeEntry::decode_read_lock(e.read_lock_raw()),
+            ReadLockState::Locked
+        );
+    }
+
+    #[test]
+    fn owner_tags_distinguish_slots() {
+        let e = StripeEntry::default();
+        assert!(e.try_acquire_write(ThreadSlot::new(5)));
+        assert_eq!(
+            e.write_lock(),
+            WriteLockState::LockedBy(ThreadSlot::new(5))
+        );
+        assert!(!e.is_write_locked_by(ThreadSlot::new(4)));
+    }
+}

@@ -1,0 +1,90 @@
+//! A classic bank-transfer example: concurrent transfers between accounts
+//! must never create or destroy money, and an auditing transaction must
+//! always observe a consistent total (opacity in action).
+//!
+//! Run with `cargo run --example bank`.
+
+use std::sync::Arc;
+
+use stm_core::backoff::FastRng;
+use stm_core::config::StmConfig;
+use stm_core::tm::{ThreadContext, TmAlgorithm};
+use stm_core::word::Addr;
+use swisstm::SwissTm;
+
+const ACCOUNTS: usize = 64;
+const INITIAL_BALANCE: u64 = 1_000;
+const TRANSFERS_PER_THREAD: usize = 20_000;
+
+fn main() {
+    let stm = Arc::new(SwissTm::with_config(StmConfig::small()));
+    let accounts: Addr = stm
+        .heap()
+        .alloc_zeroed(ACCOUNTS)
+        .expect("heap should fit the accounts");
+    for i in 0..ACCOUNTS {
+        stm.heap().store(accounts.offset(i), INITIAL_BALANCE);
+    }
+
+    let mut handles = Vec::new();
+
+    // Transfer threads.
+    for worker in 0..3u64 {
+        let stm = Arc::clone(&stm);
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = ThreadContext::register(stm);
+            let mut rng = FastRng::new(worker + 1);
+            for _ in 0..TRANSFERS_PER_THREAD {
+                let from = rng.next_below(ACCOUNTS as u64) as usize;
+                let to = rng.next_below(ACCOUNTS as u64) as usize;
+                let amount = 1 + rng.next_below(50);
+                ctx.atomically(|tx| {
+                    let from_balance = tx.read(accounts.offset(from))?;
+                    let to_balance = tx.read(accounts.offset(to))?;
+                    if from != to && from_balance >= amount {
+                        tx.write(accounts.offset(from), from_balance - amount)?;
+                        tx.write(accounts.offset(to), to_balance + amount)?;
+                    }
+                    Ok(())
+                })
+                .expect("transfer retries until it commits");
+            }
+        }));
+    }
+
+    // Auditor thread: repeatedly sums all balances inside one (read-only)
+    // transaction; opacity guarantees every observed total is exact.
+    {
+        let stm = Arc::clone(&stm);
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = ThreadContext::register(stm);
+            for audit in 0..200 {
+                let total: u64 = ctx
+                    .atomically(|tx| {
+                        let mut sum = 0;
+                        for i in 0..ACCOUNTS {
+                            sum += tx.read(accounts.offset(i))?;
+                        }
+                        Ok(sum)
+                    })
+                    .expect("audit retries until it commits");
+                assert_eq!(
+                    total,
+                    ACCOUNTS as u64 * INITIAL_BALANCE,
+                    "audit #{audit} observed an inconsistent total"
+                );
+            }
+        }));
+    }
+
+    for handle in handles {
+        handle.join().expect("worker thread panicked");
+    }
+
+    let final_total: u64 = (0..ACCOUNTS).map(|i| stm.heap().load(accounts.offset(i))).sum();
+    println!("accounts      : {ACCOUNTS}");
+    println!("final total   : {final_total}");
+    println!("expected total: {}", ACCOUNTS as u64 * INITIAL_BALANCE);
+    assert_eq!(final_total, ACCOUNTS as u64 * INITIAL_BALANCE);
+    println!("every audit observed a consistent snapshot — opacity holds");
+}

@@ -1,0 +1,49 @@
+//! A concurrent ordered set built from the transactional red-black tree,
+//! exercised by a mixed lookup/insert/remove workload on all four STMs —
+//! the paper's microbenchmark (Figure 5) in example form.
+//!
+//! Run with `cargo run --example concurrent_set --release`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use stm_core::config::StmConfig;
+use stm_core::tm::TmAlgorithm;
+use stm_workloads::driver::{run_workload, RunLength};
+use stm_workloads::rbtree::{RbTreeConfig, RbTreeWorkload};
+use swisstm::SwissTm;
+use tinystm::TinyStm;
+use tl2::Tl2;
+
+fn run_one<A: TmAlgorithm>(name: &str, stm: Arc<A>) {
+    let config = RbTreeConfig {
+        key_range: 4096,
+        update_percent: 20,
+        initial_size: 2048,
+    };
+    let workload = RbTreeWorkload::setup(&stm, config, 42);
+    let threads = 4;
+    let result = run_workload(
+        stm,
+        workload,
+        threads,
+        RunLength::Duration(Duration::from_millis(300)),
+        7,
+    );
+    println!(
+        "{name:10}  {:>10.0} tx/s   abort ratio {:.3}   ({} ops on {} threads)",
+        result.throughput(),
+        result.abort_ratio(),
+        result.operations,
+        threads,
+    );
+}
+
+fn main() {
+    println!("concurrent red-black tree set, 4096 keys, 20% updates\n");
+    run_one("SwissTM", Arc::new(SwissTm::with_config(StmConfig::small())));
+    run_one("TL2", Arc::new(Tl2::with_config(StmConfig::small())));
+    run_one("TinySTM", Arc::new(TinyStm::with_config(StmConfig::small())));
+    run_one("RSTM", Arc::new(rstm::Rstm::with_config(StmConfig::small())));
+    println!("\n(the relative ordering at higher thread counts is the paper's Figure 5)");
+}

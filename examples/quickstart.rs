@@ -1,0 +1,58 @@
+//! Quickstart: a shared counter incremented by several threads through
+//! SwissTM transactions.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use std::sync::Arc;
+
+use stm_core::config::StmConfig;
+use stm_core::tm::{ThreadContext, TmAlgorithm};
+use swisstm::SwissTm;
+
+fn main() {
+    // 1. Create the STM instance; the paper's default lock-table
+    //    configuration is used unless overridden.
+    let stm = Arc::new(SwissTm::with_config(StmConfig::small()));
+
+    // 2. Allocate transactional memory (one word for the counter).
+    let counter = stm
+        .heap()
+        .alloc_zeroed(1)
+        .expect("heap should have room for one word");
+
+    // 3. Spawn threads; each registers a ThreadContext and runs
+    //    transactions through `atomically`.
+    let threads = 4;
+    let increments_per_thread = 10_000u64;
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let stm = Arc::clone(&stm);
+            std::thread::spawn(move || {
+                let mut ctx = ThreadContext::register(stm);
+                for _ in 0..increments_per_thread {
+                    ctx.atomically(|tx| {
+                        let value = tx.read(counter)?;
+                        tx.write(counter, value + 1)
+                    })
+                    .expect("the transaction retries until it commits");
+                }
+                ctx.take_stats()
+            })
+        })
+        .collect();
+
+    let mut total_commits = 0;
+    let mut total_aborts = 0;
+    for handle in handles {
+        let stats = handle.join().expect("worker thread panicked");
+        total_commits += stats.commits;
+        total_aborts += stats.aborts;
+    }
+
+    let final_value = stm.heap().load(counter);
+    println!("final counter value : {final_value}");
+    println!("expected            : {}", threads as u64 * increments_per_thread);
+    println!("commits             : {total_commits}");
+    println!("aborts (retried)    : {total_aborts}");
+    assert_eq!(final_value, threads as u64 * increments_per_thread);
+}

@@ -1,0 +1,89 @@
+//! A small transactional task scheduler: producers enqueue jobs onto a
+//! shared transactional queue, workers dequeue them and record results in a
+//! shared transactional hash map. Mixing two data structures in single
+//! transactions is exactly the kind of composition the TM programming model
+//! makes safe (paper §1).
+//!
+//! Run with `cargo run --example task_scheduler`.
+
+use std::sync::Arc;
+
+use stm_core::config::StmConfig;
+use stm_core::tm::{ThreadContext, TmAlgorithm};
+use stm_workloads::structures::{HashMap, Queue};
+use swisstm::SwissTm;
+
+const JOBS: u64 = 5_000;
+const WORKERS: usize = 3;
+
+fn main() {
+    let stm = Arc::new(SwissTm::with_config(StmConfig::small()));
+    let queue = Queue::create(stm.heap()).expect("heap exhausted");
+    let results = HashMap::create(stm.heap(), 1024).expect("heap exhausted");
+
+    // Producer: enqueue all jobs (in batches of one transaction each, so
+    // consumers can start immediately).
+    let producer = {
+        let stm = Arc::clone(&stm);
+        std::thread::spawn(move || {
+            let mut ctx = ThreadContext::register(stm);
+            for job in 1..=JOBS {
+                ctx.atomically(|tx| queue.enqueue(tx, job))
+                    .expect("enqueue retries until it commits");
+            }
+        })
+    };
+
+    // Workers: atomically claim a job AND publish its result — either both
+    // happen or neither, so no job can be lost or processed twice.
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|worker| {
+            let stm = Arc::clone(&stm);
+            std::thread::spawn(move || {
+                let mut ctx = ThreadContext::register(stm);
+                let mut processed = 0u64;
+                let mut idle_rounds = 0;
+                while idle_rounds < 1_000 {
+                    let claimed = ctx
+                        .atomically(|tx| {
+                            let Some(job) = queue.dequeue(tx)? else {
+                                return Ok(None);
+                            };
+                            // "Process" the job: its result is job squared.
+                            results.insert(tx, job, job * job)?;
+                            Ok(Some(job))
+                        })
+                        .expect("worker transaction retries until it commits");
+                    match claimed {
+                        Some(_) => {
+                            processed += 1;
+                            idle_rounds = 0;
+                        }
+                        None => idle_rounds += 1,
+                    }
+                }
+                (worker, processed)
+            })
+        })
+        .collect();
+
+    producer.join().expect("producer panicked");
+    let mut total = 0;
+    for worker in workers {
+        let (id, processed) = worker.join().expect("worker panicked");
+        println!("worker {id} processed {processed} jobs");
+        total += processed;
+    }
+
+    let mut ctx = ThreadContext::register(stm);
+    let stored = ctx
+        .atomically(|tx| results.len(tx))
+        .expect("final check commits");
+    println!("jobs processed : {total}");
+    println!("results stored : {stored}");
+    assert_eq!(total, JOBS);
+    assert_eq!(stored as u64, JOBS);
+    let sample = ctx.atomically(|tx| results.get(tx, 1234)).unwrap();
+    assert_eq!(sample, Some(1234 * 1234));
+    println!("result[1234] = {:?} — every job ran exactly once", sample.unwrap());
+}

@@ -1,0 +1,7 @@
+//! Top-level convenience crate for the SwissTM reproduction workspace.
+pub use rstm;
+pub use stm_core;
+pub use stm_workloads;
+pub use swisstm;
+pub use tinystm;
+pub use tl2;
