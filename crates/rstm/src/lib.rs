@@ -180,7 +180,12 @@ impl ObjectHeader {
     #[inline]
     pub fn try_acquire(&self, slot: ThreadSlot) -> bool {
         self.owner
-            .compare_exchange(0, Self::owner_tag(slot), Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(
+                0,
+                Self::owner_tag(slot),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
             .is_ok()
     }
 
@@ -255,8 +260,17 @@ pub struct RstmDescriptor {
 }
 
 impl RstmDescriptor {
+    /// The object version observed when this transaction acquired
+    /// `lock_index`, if it owns the object.
+    fn acquired_version(&self, lock_index: usize) -> Option<u64> {
+        self.acquired
+            .iter()
+            .find(|&&(idx, _)| idx == lock_index)
+            .map(|&(_, version)| version)
+    }
+
     fn owns(&self, lock_index: usize) -> bool {
-        self.acquired.iter().any(|&(idx, _)| idx == lock_index)
+        self.acquired_version(lock_index).is_some()
     }
 }
 
@@ -378,17 +392,15 @@ impl Rstm {
     fn validate(&self, desc: &RstmDescriptor) -> bool {
         for entry in desc.read_log.iter() {
             let object = self.objects.entry_at(entry.lock_index);
-            match object.version() {
-                Some(version) => {
-                    if version != entry.version && !desc.owns(entry.lock_index) {
-                        return false;
-                    }
-                }
-                None => {
-                    if !desc.owns(entry.lock_index) {
-                        return false;
-                    }
-                }
+            if object.version() == Some(entry.version) {
+                continue;
+            }
+            // A drifted (or write-back-locked) version is benign only for an
+            // object we own whose version at acquisition time equals the one
+            // the read observed — i.e. nothing committed it between our read
+            // and our acquisition.
+            if desc.acquired_version(entry.lock_index) != Some(entry.version) {
+                return false;
             }
         }
         true
@@ -407,12 +419,7 @@ impl Rstm {
     /// Resolves a conflict against the owner of `object`; returns `Ok(())`
     /// when the caller may retry the acquisition and `Err` when the caller
     /// must abort.
-    fn fight_owner(
-        &self,
-        desc: &RstmDescriptor,
-        owner: ThreadSlot,
-        kind: Abort,
-    ) -> TxResult<()> {
+    fn fight_owner(&self, desc: &RstmDescriptor, owner: ThreadSlot, kind: Abort) -> TxResult<()> {
         let owner_shared = self.shared_of(owner);
         match self.cm.resolve(&desc.core.shared, owner_shared) {
             Resolution::AbortSelf => Err(kind),
@@ -430,7 +437,11 @@ impl Rstm {
 
     /// Aborts (or waits for) the visible readers of an object the caller
     /// just acquired.
-    fn resolve_visible_readers(&self, desc: &RstmDescriptor, object: &ObjectHeader) -> TxResult<()> {
+    fn resolve_visible_readers(
+        &self,
+        desc: &RstmDescriptor,
+        object: &ObjectHeader,
+    ) -> TxResult<()> {
         let readers = object.readers();
         if readers == 0 {
             return Ok(());
@@ -452,11 +463,7 @@ impl Rstm {
         Ok(())
     }
 
-    fn acquire_object(
-        &self,
-        desc: &mut RstmDescriptor,
-        lock_index: usize,
-    ) -> TxResult<()> {
+    fn acquire_object(&self, desc: &mut RstmDescriptor, lock_index: usize) -> TxResult<()> {
         if desc.owns(lock_index) {
             return Ok(());
         }
@@ -493,7 +500,9 @@ impl Rstm {
         }
         desc.acquired.clear();
         for &lock_index in &desc.visible_reads {
-            self.objects.entry_at(lock_index).remove_reader(desc.core.slot);
+            self.objects
+                .entry_at(lock_index)
+                .remove_reader(desc.core.slot);
         }
         desc.visible_reads.clear();
     }
@@ -598,7 +607,8 @@ impl TmAlgorithm for Rstm {
             }
         }
 
-        if self.variant.visibility == ReadVisibility::Visible && !desc.visible_reads.contains(&lock_index)
+        if self.variant.visibility == ReadVisibility::Visible
+            && !desc.visible_reads.contains(&lock_index)
         {
             object.add_reader(desc.core.slot);
             desc.visible_reads.push(lock_index);

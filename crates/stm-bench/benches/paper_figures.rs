@@ -54,7 +54,12 @@ fn fig3_stamp(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(200));
     group.measurement_time(Duration::from_millis(600));
-    let apps = [StampApp::KmeansHigh, StampApp::Intruder, StampApp::VacationHigh, StampApp::Yada];
+    let apps = [
+        StampApp::KmeansHigh,
+        StampApp::Intruder,
+        StampApp::VacationHigh,
+        StampApp::Yada,
+    ];
     let variants = [
         StmVariant::Swiss(CmChoice::Default),
         StmVariant::Tl2(CmChoice::Default),

@@ -69,9 +69,17 @@ fn bench_algorithm<A: TmAlgorithm>(c: &mut Criterion, group_name: &str, stm: Arc
 }
 
 fn primitives(c: &mut Criterion) {
-    bench_algorithm(c, "primitives_swisstm", Arc::new(SwissTm::with_config(config())));
+    bench_algorithm(
+        c,
+        "primitives_swisstm",
+        Arc::new(SwissTm::with_config(config())),
+    );
     bench_algorithm(c, "primitives_tl2", Arc::new(Tl2::with_config(config())));
-    bench_algorithm(c, "primitives_tinystm", Arc::new(TinyStm::with_config(config())));
+    bench_algorithm(
+        c,
+        "primitives_tinystm",
+        Arc::new(TinyStm::with_config(config())),
+    );
     bench_algorithm(c, "primitives_rstm", Arc::new(Rstm::with_config(config())));
 }
 

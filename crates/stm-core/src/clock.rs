@@ -344,10 +344,7 @@ mod tests {
         for _ in 0..MAX_THREADS {
             r.register().unwrap();
         }
-        assert!(matches!(
-            r.register(),
-            Err(StmError::TooManyThreads { .. })
-        ));
+        assert!(matches!(r.register(), Err(StmError::TooManyThreads { .. })));
     }
 
     #[test]

@@ -451,7 +451,11 @@ mod tests {
     use super::*;
     use crate::clock::ThreadRegistry;
 
-    fn two_txs() -> (ThreadRegistry, crate::clock::ThreadSlot, crate::clock::ThreadSlot) {
+    fn two_txs() -> (
+        ThreadRegistry,
+        crate::clock::ThreadSlot,
+        crate::clock::ThreadSlot,
+    ) {
         let reg = ThreadRegistry::new();
         let a = reg.register().unwrap();
         let b = reg.register().unwrap();
@@ -476,7 +480,7 @@ mod tests {
         let cm = Greedy::new();
         cm.on_start(reg.shared(a), false); // ts 1
         cm.on_start(reg.shared(b), false); // ts 2
-        // b attacks a: a is older, so b must abort itself.
+                                           // b attacks a: a is older, so b must abort itself.
         assert_eq!(
             cm.resolve(reg.shared(b), reg.shared(a)),
             Resolution::AbortSelf

@@ -127,7 +127,10 @@ impl fmt::Display for StmError {
                 write!(f, "too many threads registered (maximum {max})")
             }
             StmError::RetryBudgetExhausted { attempts } => {
-                write!(f, "transaction retry budget exhausted after {attempts} attempts")
+                write!(
+                    f,
+                    "transaction retry budget exhausted after {attempts} attempts"
+                )
             }
         }
     }

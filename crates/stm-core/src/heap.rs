@@ -68,7 +68,10 @@ impl TmHeap {
 
     /// Number of words currently allocated.
     pub fn live_words(&self) -> usize {
-        self.alloc.lock().expect("heap allocator poisoned").live_words
+        self.alloc
+            .lock()
+            .expect("heap allocator poisoned")
+            .live_words
     }
 
     /// Directly loads the value stored at `addr` (non-transactional).

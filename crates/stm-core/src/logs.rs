@@ -238,8 +238,20 @@ mod tests {
         log.push(7, 11);
         assert_eq!(log.len(), 2);
         let entries: Vec<_> = log.iter().copied().collect();
-        assert_eq!(entries[0], ReadEntry { lock_index: 3, version: 10 });
-        assert_eq!(entries[1], ReadEntry { lock_index: 7, version: 11 });
+        assert_eq!(
+            entries[0],
+            ReadEntry {
+                lock_index: 3,
+                version: 10
+            }
+        );
+        assert_eq!(
+            entries[1],
+            ReadEntry {
+                lock_index: 7,
+                version: 11
+            }
+        );
         log.clear();
         assert!(log.is_empty());
     }

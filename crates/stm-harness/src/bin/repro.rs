@@ -44,8 +44,8 @@ fn run_experiment(name: &str, options: &RunOptions) -> Result<(), String> {
         "table2" => print_tables(&[experiments::table2(options)]),
         "all" => {
             for experiment in [
-                "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11",
-                "fig12", "fig13", "table1", "table2",
+                "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+                "fig13", "table1", "table2",
             ] {
                 run_experiment(experiment, options)?;
             }

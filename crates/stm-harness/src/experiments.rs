@@ -37,8 +37,7 @@ pub fn figure2(options: &RunOptions) -> Vec<Table> {
                 "Throughput [10^3 tx/s] per thread count",
             )
             .headers(
-                std::iter::once("threads".to_string())
-                    .chain(variants.iter().map(|v| v.label())),
+                std::iter::once("threads".to_string()).chain(variants.iter().map(|v| v.label())),
             );
             for threads in options.thread_counts() {
                 let mut row = vec![threads.to_string()];
@@ -79,11 +78,14 @@ pub fn figure3(options: &RunOptions) -> Vec<Table> {
                 let mut row = vec![app.label().to_string()];
                 for &threads in &thread_points {
                     let benchmark = Benchmark::Stamp(app);
-                    let swiss =
-                        run_point(StmVariant::Swiss(CmChoice::Default), &benchmark, threads, options);
+                    let swiss = run_point(
+                        StmVariant::Swiss(CmChoice::Default),
+                        &benchmark,
+                        threads,
+                        options,
+                    );
                     let base = run_point(*baseline, &benchmark, threads, options);
-                    let ratio =
-                        base.elapsed.as_secs_f64() / swiss.elapsed.as_secs_f64().max(1e-9);
+                    let ratio = base.elapsed.as_secs_f64() / swiss.elapsed.as_secs_f64().max(1e-9);
                     row.push(format_speedup_minus_one(ratio));
                 }
                 table.push_row(row);
@@ -112,8 +114,7 @@ pub fn figure4(options: &RunOptions) -> Vec<Table> {
                 "Duration [s] per thread count",
             )
             .headers(
-                std::iter::once("threads".to_string())
-                    .chain(variants.iter().map(|v| v.label())),
+                std::iter::once("threads".to_string()).chain(variants.iter().map(|v| v.label())),
             );
             for threads in options.thread_counts() {
                 let mut row = vec![threads.to_string()];
@@ -140,9 +141,7 @@ pub fn figure5(options: &RunOptions) -> Table {
         "Figure 5: red-black tree throughput",
         "Throughput [10^3 tx/s], range 16384, 20% updates",
     )
-    .headers(
-        std::iter::once("threads".to_string()).chain(variants.iter().map(|v| v.label())),
-    );
+    .headers(std::iter::once("threads".to_string()).chain(variants.iter().map(|v| v.label())));
     for threads in options.thread_counts() {
         let mut row = vec![threads.to_string()];
         for variant in variants {
@@ -172,9 +171,7 @@ pub fn figure7(options: &RunOptions) -> Table {
         "Figure 7: eager vs lazy conflict detection (read-dominated STMBench7)",
         "Throughput [10^3 tx/s]; TinySTM/RSTM-eager are eager, RSTM-lazy/TL2 are lazy",
     )
-    .headers(
-        std::iter::once("threads".to_string()).chain(variants.iter().map(|v| v.label())),
-    );
+    .headers(std::iter::once("threads".to_string()).chain(variants.iter().map(|v| v.label())));
     for threads in options.thread_counts() {
         let mut row = vec![threads.to_string()];
         for variant in variants {
@@ -240,9 +237,7 @@ pub fn figure9(options: &RunOptions) -> Table {
         "Figure 9: Polka vs Greedy (RSTM, read-dominated STMBench7)",
         "Throughput [10^3 tx/s]",
     )
-    .headers(
-        std::iter::once("threads".to_string()).chain(variants.iter().map(|v| v.label())),
-    );
+    .headers(std::iter::once("threads".to_string()).chain(variants.iter().map(|v| v.label())));
     for threads in options.thread_counts() {
         let mut row = vec![threads.to_string()];
         for variant in variants {
@@ -270,9 +265,7 @@ pub fn figure10(options: &RunOptions) -> Table {
         "Figure 10: two-phase vs Greedy (SwissTM, red-black tree)",
         "Throughput [10^3 tx/s]",
     )
-    .headers(
-        std::iter::once("threads".to_string()).chain(variants.iter().map(|v| v.label())),
-    );
+    .headers(std::iter::once("threads".to_string()).chain(variants.iter().map(|v| v.label())));
     for threads in options.thread_counts() {
         let mut row = vec![threads.to_string()];
         for variant in variants {
@@ -359,10 +352,8 @@ pub fn figure12(options: &RunOptions) -> Table {
 /// and Table 2): every benchmark family with a representative
 /// configuration.
 fn granularity_benchmarks(options: &RunOptions) -> Vec<Benchmark> {
-    let mut benchmarks: Vec<Benchmark> = StampApp::all()
-        .into_iter()
-        .map(Benchmark::Stamp)
-        .collect();
+    let mut benchmarks: Vec<Benchmark> =
+        StampApp::all().into_iter().map(Benchmark::Stamp).collect();
     benchmarks.push(Benchmark::RbTree(RbTreeConfig::paper_default()));
     benchmarks.push(Benchmark::Lee(LeeConfig::memory_board()));
     benchmarks.push(Benchmark::Lee(LeeConfig::main_board()));
@@ -519,7 +510,11 @@ pub fn table1(options: &RunOptions) -> Table {
         "Table 1: effectiveness of STM design-choice combinations",
         "Read-write STMBench7 at max threads; higher throughput = more effective",
     )
-    .headers(["acquire / reads / CM", "throughput [10^3 tx/s]", "abort ratio"]);
+    .headers([
+        "acquire / reads / CM",
+        "throughput [10^3 tx/s]",
+        "abort ratio",
+    ]);
     for (label, variant) in combos {
         let result = run_point(
             variant,
@@ -567,7 +562,10 @@ mod tests {
         let t10 = figure10(&options);
         assert!(t10.headers.iter().any(|h| h.contains("greedy")));
         let t11 = figure11(&options);
-        assert!(t11.headers.iter().any(|h| h.contains("backoff") || h.contains("back")));
+        assert!(t11
+            .headers
+            .iter()
+            .any(|h| h.contains("backoff") || h.contains("back")));
     }
 
     #[test]

@@ -259,7 +259,13 @@ where
         Benchmark::Stamp(app) => {
             let workload = app.build(&stm, options.seed);
             let ops = options.scale_work(app.default_ops());
-            run_workload(stm, workload, threads, RunLength::TotalOps(ops), options.seed)
+            run_workload(
+                stm,
+                workload,
+                threads,
+                RunLength::TotalOps(ops),
+                options.seed,
+            )
         }
     }
 }
@@ -350,10 +356,15 @@ mod tests {
             StmVariant::Swiss(CmChoice::Greedy).label(),
             "SwissTM[greedy]"
         );
-        assert!(StmVariant::Rstm(RstmVariant::lazy_invisible(), CmChoice::Polka)
-            .label()
-            .contains("lazy"));
-        assert_eq!(Benchmark::RbTree(RbTreeConfig::small()).label(), "red-black tree");
+        assert!(
+            StmVariant::Rstm(RstmVariant::lazy_invisible(), CmChoice::Polka)
+                .label()
+                .contains("lazy")
+        );
+        assert_eq!(
+            Benchmark::RbTree(RbTreeConfig::small()).label(),
+            "red-black tree"
+        );
         assert_eq!(Benchmark::Stamp(StampApp::Yada).label(), "yada");
     }
 

@@ -130,7 +130,10 @@ mod tests {
     #[test]
     fn formatting_helpers() {
         assert_eq!(format_ktps(2_500.0), "2.50");
-        assert_eq!(format_seconds(std::time::Duration::from_millis(1500)), "1.500");
+        assert_eq!(
+            format_seconds(std::time::Duration::from_millis(1500)),
+            "1.500"
+        );
         assert_eq!(format_speedup_minus_one(1.25), "+0.250");
         assert_eq!(format_speedup_minus_one(0.9), "-0.100");
     }

@@ -118,9 +118,8 @@ where
             let shared_ops = Arc::clone(&shared_ops);
             handles.push(scope.spawn(move || {
                 let mut ctx = ThreadContext::register(stm);
-                let mut rng = FastRng::new(
-                    seed ^ (thread_index as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15),
-                );
+                let mut rng =
+                    FastRng::new(seed ^ (thread_index as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15));
                 let mut executed = 0u64;
                 match length {
                     RunLength::OpsPerThread(ops) => {

@@ -107,9 +107,9 @@ impl<A: TmAlgorithm> Workload<A> for BayesWorkload {
     fn execute(&self, ctx: &mut ThreadContext<A>, rng: &mut FastRng, _op_index: u64) {
         let child = rng.next_below(self.config.variables as u64) as usize;
         let parent = rng.next_below(self.config.variables as u64) as usize;
-        let data_start = rng.next_below(
-            (self.config.data_words - self.config.data_words_per_eval) as u64,
-        ) as usize;
+        let data_start = rng
+            .next_below((self.config.data_words - self.config.data_words_per_eval) as u64)
+            as usize;
         ctx.atomically(|tx| {
             if child == parent {
                 return Ok(());

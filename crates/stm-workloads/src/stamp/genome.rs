@@ -62,8 +62,7 @@ impl GenomeWorkload {
         let chains =
             HashMap::create(stm.heap(), config.buckets).expect("heap too small for genome tables");
         let mut rng = FastRng::new(seed | 1);
-        let mut stream =
-            Vec::with_capacity(config.unique_segments * config.duplication);
+        let mut stream = Vec::with_capacity(config.unique_segments * config.duplication);
         for _ in 0..config.unique_segments * config.duplication {
             // Segment ids 1..=unique_segments; 0 is reserved.
             stream.push(1 + rng.next_below(config.unique_segments as u64));

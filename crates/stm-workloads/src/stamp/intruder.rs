@@ -58,8 +58,7 @@ impl IntruderWorkload {
     /// Panics if the heap cannot hold the trace.
     pub fn setup<A: TmAlgorithm>(stm: &Arc<A>, config: IntruderConfig, seed: u64) -> Arc<Self> {
         let fragment_queue = Queue::create(stm.heap()).expect("heap exhausted");
-        let reassembly =
-            HashMap::create(stm.heap(), config.buckets).expect("heap exhausted");
+        let reassembly = HashMap::create(stm.heap(), config.buckets).expect("heap exhausted");
         let detection_queue = Queue::create(stm.heap()).expect("heap exhausted");
 
         // Pre-load the trace: every flow contributes `fragments_per_flow`
@@ -97,7 +96,8 @@ impl IntruderWorkload {
 
     /// Number of flows fully reassembled and queued for detection.
     pub fn completed_flows<A: TmAlgorithm>(&self, ctx: &mut ThreadContext<A>) -> usize {
-        ctx.atomically(|tx| self.detection_queue.len(tx)).unwrap_or(0)
+        ctx.atomically(|tx| self.detection_queue.len(tx))
+            .unwrap_or(0)
     }
 }
 

@@ -69,7 +69,10 @@ impl<A: TmAlgorithm> Workload<A> for LabyrinthWorkload {
     }
 
     fn name(&self) -> String {
-        format!("labyrinth(side={}, paths={})", self.config.side, self.config.paths)
+        format!(
+            "labyrinth(side={}, paths={})",
+            self.config.side, self.config.paths
+        )
     }
 
     fn check(&self, ctx: &mut ThreadContext<A>) -> bool {

@@ -114,7 +114,9 @@ impl StampApp {
     /// [`crate::driver::run_workload`].
     pub fn build<A: TmAlgorithm>(self, stm: &Arc<A>, seed: u64) -> Arc<dyn Workload<A>> {
         match self {
-            StampApp::Bayes => bayes::BayesWorkload::setup(stm, bayes::BayesConfig::default(), seed),
+            StampApp::Bayes => {
+                bayes::BayesWorkload::setup(stm, bayes::BayesConfig::default(), seed)
+            }
             StampApp::Genome => {
                 genome::GenomeWorkload::setup(stm, genome::GenomeConfig::default(), seed)
             }
@@ -127,10 +129,14 @@ impl StampApp {
             StampApp::KmeansLow => {
                 kmeans::KmeansWorkload::setup(stm, kmeans::KmeansConfig::low_contention(), seed)
             }
-            StampApp::Labyrinth => {
-                labyrinth::LabyrinthWorkload::setup(stm, labyrinth::LabyrinthConfig::default(), seed)
+            StampApp::Labyrinth => labyrinth::LabyrinthWorkload::setup(
+                stm,
+                labyrinth::LabyrinthConfig::default(),
+                seed,
+            ),
+            StampApp::Ssca2 => {
+                ssca2::Ssca2Workload::setup(stm, ssca2::Ssca2Config::default(), seed)
             }
-            StampApp::Ssca2 => ssca2::Ssca2Workload::setup(stm, ssca2::Ssca2Config::default(), seed),
             StampApp::VacationHigh => vacation::VacationWorkload::setup(
                 stm,
                 vacation::VacationConfig::high_contention(),

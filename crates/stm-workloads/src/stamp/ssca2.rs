@@ -136,7 +136,14 @@ mod tests {
     #[test]
     fn edges_are_inserted_and_degrees_bounded() {
         let stm = Arc::new(SwissTm::with_config(StmConfig::small()));
-        let workload = Ssca2Workload::setup(&stm, Ssca2Config { nodes: 128, max_degree: 8 }, 3);
+        let workload = Ssca2Workload::setup(
+            &stm,
+            Ssca2Config {
+                nodes: 128,
+                max_degree: 8,
+            },
+            3,
+        );
         let result = run_workload(
             Arc::clone(&stm),
             Arc::clone(&workload),

@@ -155,11 +155,7 @@ impl VacationWorkload {
         self.customers.remove(tx, customer)
     }
 
-    fn update_tables<A: TmAlgorithm>(
-        &self,
-        tx: &mut Tx<'_, A>,
-        rng: &mut FastRng,
-    ) -> TxResult<()> {
+    fn update_tables<A: TmAlgorithm>(&self, tx: &mut Tx<'_, A>, rng: &mut FastRng) -> TxResult<()> {
         // Restock or deplete a handful of random rows.
         for _ in 0..self.config.queries_per_tx / 2 + 1 {
             let id = self.random_row(rng);
@@ -197,7 +193,8 @@ impl<A: TmAlgorithm> Workload<A> for VacationWorkload {
             let customer = 1 + (op_index % 4096);
             ctx.atomically(|tx| self.make_reservation(tx, rng, customer))
                 .expect("reservation must eventually commit");
-        } else if roll < self.config.reservation_percent + (100 - self.config.reservation_percent) / 2
+        } else if roll
+            < self.config.reservation_percent + (100 - self.config.reservation_percent) / 2
         {
             let customer = 1 + rng.next_below(4096);
             ctx.atomically(|tx| self.delete_customer(tx, customer))

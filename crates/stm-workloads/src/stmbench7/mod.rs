@@ -45,9 +45,7 @@ mod tests {
         let data = Bench7Data::build(&stm, Bench7Config::tiny(), 42);
         let mut ctx = ThreadContext::register(Arc::clone(&stm));
         assert!(data.check(&mut ctx));
-        let parts = ctx
-            .atomically(|tx| data.part_index().len(tx))
-            .unwrap();
+        let parts = ctx.atomically(|tx| data.part_index().len(tx)).unwrap();
         assert_eq!(
             parts,
             (Bench7Config::tiny().composite_pool * Bench7Config::tiny().parts_per_composite) as u64
@@ -83,7 +81,13 @@ mod tests {
         let stm = Arc::new(SwissTm::with_config(tiny_config()));
         let data = Bench7Data::build(&stm, Bench7Config::tiny(), 7);
         let workload = Arc::new(Bench7Workload::new(data, WorkloadMix::write_dominated()));
-        let r = run_workload(Arc::clone(&stm), workload, 2, RunLength::OpsPerThread(80), 11);
+        let r = run_workload(
+            Arc::clone(&stm),
+            workload,
+            2,
+            RunLength::OpsPerThread(80),
+            11,
+        );
         assert!(r.check_passed);
         assert!(
             r.stats.totals.writes > 0,

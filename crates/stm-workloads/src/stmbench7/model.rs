@@ -218,10 +218,8 @@ impl Bench7Data {
         data.module = module;
 
         // Seed the id counter with the number of pre-built parts.
-        ctx.atomically(|tx| {
-            tx.write(data.id_counter, config.total_parts() as Word)
-        })
-        .expect("seeding id counter failed");
+        ctx.atomically(|tx| tx.write(data.id_counter, config.total_parts() as Word))
+            .expect("seeding id counter failed");
 
         data
     }
@@ -276,7 +274,8 @@ impl Bench7Data {
             parts_list.insert(tx, id, part.to_word())?;
             self.part_index.insert(tx, id, part.to_word())?;
             let date = tx.read_field(part, AP_DATE)?;
-            self.date_index.insert(tx, (date << 20) | id, part.to_word())?;
+            self.date_index
+                .insert(tx, (date << 20) | id, part.to_word())?;
         }
         tx.write_field(composite, CP_ROOT_PART, parts[0].1.to_word())?;
         self.composite_index

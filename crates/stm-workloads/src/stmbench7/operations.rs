@@ -302,9 +302,8 @@ impl Bench7Workload {
             tx.write_field(root, AP_CONN_COUNT, (root_conns + 1) as Word)?;
         }
 
-        let parts_list = SortedList::from_header(Addr::from_word(
-            tx.read_field(composite, CP_PARTS_LIST)?,
-        ));
+        let parts_list =
+            SortedList::from_header(Addr::from_word(tx.read_field(composite, CP_PARTS_LIST)?));
         parts_list.insert(tx, new_id, part.to_word())?;
         self.data.part_index().insert(tx, new_id, part.to_word())?;
         let date = tx.read_field(part, AP_DATE)?;
@@ -330,9 +329,8 @@ impl Bench7Workload {
             // Never remove the designated root part; it anchors traversals.
             return Ok(0);
         }
-        let parts_list = SortedList::from_header(Addr::from_word(
-            tx.read_field(composite, CP_PARTS_LIST)?,
-        ));
+        let parts_list =
+            SortedList::from_header(Addr::from_word(tx.read_field(composite, CP_PARTS_LIST)?));
         parts_list.remove(tx, id)?;
         self.data.part_index().remove(tx, id)?;
         let date = tx.read_field(part, AP_DATE)?;
@@ -469,7 +467,10 @@ mod tests {
             lock_table: LockTableConfig::small(),
         }));
         let data = Bench7Data::build(&stm, Bench7Config::tiny(), 17);
-        (stm.clone(), Bench7Workload::new(data, WorkloadMix::read_write()))
+        (
+            stm.clone(),
+            Bench7Workload::new(data, WorkloadMix::read_write()),
+        )
     }
 
     #[test]

@@ -125,16 +125,21 @@ impl SwissTm {
     }
 
     /// `validate` (paper lines 50–53): every read-log entry must still carry
-    /// the version it had when first read, unless the stripe is write-locked
-    /// by this very transaction (its read lock is then locked by us during
-    /// commit).
+    /// the version it had when first read. A mismatch is benign only for a
+    /// stripe whose write lock we hold *and* whose read-lock version at
+    /// acquisition time equals the version the read observed — i.e. nothing
+    /// committed between our read and our acquisition (the read lock is
+    /// locked by us during commit, so the raw word cannot match then).
     fn validate(&self, desc: &SwissDescriptor) -> bool {
         for entry in desc.read_log.iter() {
             let stripe = self.lock_table.entry_at(entry.lock_index);
             let current = stripe.read_lock_raw();
-            let matches = current == entry.version << 1;
-            if !matches && !desc.owns_stripe(entry.lock_index) {
-                return false;
+            if current == entry.version << 1 {
+                continue;
+            }
+            match desc.acquired_version(entry.lock_index) {
+                Some(version) if version == entry.version => {}
+                _ => return false,
             }
         }
         true
@@ -195,8 +200,13 @@ pub struct SwissDescriptor {
 }
 
 impl SwissDescriptor {
-    fn owns_stripe(&self, lock_index: usize) -> bool {
-        self.acquired.iter().any(|&(idx, _)| idx == lock_index)
+    /// The read-lock version observed when this transaction acquired the
+    /// stripe's write lock, if it owns the stripe.
+    fn acquired_version(&self, lock_index: usize) -> Option<u64> {
+        self.acquired
+            .iter()
+            .find(|&&(idx, _)| idx == lock_index)
+            .map(|&(_, version)| version)
     }
 }
 
@@ -601,8 +611,7 @@ mod tests {
     fn builder_respects_grain_shift() {
         let stm = SwissTm::builder()
             .config(
-                StmConfig::small()
-                    .with_lock_table(LockTableConfig::small().with_grain_shift(4)),
+                StmConfig::small().with_lock_table(LockTableConfig::small().with_grain_shift(4)),
             )
             .build();
         assert_eq!(stm.grain_shift(), 4);
@@ -615,7 +624,12 @@ mod tests {
             .contention_manager(Arc::new(stm_core::cm::Timid::new()))
             .build();
         assert_eq!(stm.contention_manager().name(), "timid");
-        assert_eq!(SwissTm::with_config(StmConfig::small()).contention_manager().name(), "two-phase");
+        assert_eq!(
+            SwissTm::with_config(StmConfig::small())
+                .contention_manager()
+                .name(),
+            "two-phase"
+        );
     }
 
     #[test]

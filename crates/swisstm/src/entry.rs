@@ -212,10 +212,7 @@ mod tests {
     fn owner_tags_distinguish_slots() {
         let e = StripeEntry::default();
         assert!(e.try_acquire_write(ThreadSlot::new(5)));
-        assert_eq!(
-            e.write_lock(),
-            WriteLockState::LockedBy(ThreadSlot::new(5))
-        );
+        assert_eq!(e.write_lock(), WriteLockState::LockedBy(ThreadSlot::new(5)));
         assert!(!e.is_write_locked_by(ThreadSlot::new(4)));
     }
 }

@@ -148,6 +148,17 @@ pub struct TinyDescriptor {
     doomed: bool,
 }
 
+impl TinyDescriptor {
+    /// The version the stripe carried when this transaction acquired its
+    /// lock, if it owns the stripe.
+    fn acquired_version(&self, lock_index: usize) -> Option<u64> {
+        self.acquired
+            .iter()
+            .find(|&&(index, _)| index == lock_index)
+            .map(|&(_, version)| version)
+    }
+}
+
 impl TxDescriptor for TinyDescriptor {
     fn core(&self) -> &DescriptorCore {
         &self.core
@@ -263,6 +274,13 @@ impl TinyStm {
                 }
                 OwnedLockState::Owned { owner } => {
                     if owner != desc.core.slot {
+                        return false;
+                    }
+                    // We own the stripe, so its version word is hidden behind
+                    // the lock — but the version it carried when we acquired
+                    // it must equal the one this read observed, otherwise
+                    // another transaction committed in between.
+                    if desc.acquired_version(entry.lock_index) != Some(entry.version) {
                         return false;
                     }
                 }

@@ -266,6 +266,19 @@ impl Tl2 {
                     if owner != desc.core.slot {
                         return false;
                     }
+                    // We locked the stripe during this commit; the version it
+                    // carried just before we locked it must still be covered
+                    // by our read version, otherwise another transaction
+                    // committed it after our snapshot.
+                    let locked = desc
+                        .commit_locked
+                        .iter()
+                        .find(|&&(index, _)| index == entry.lock_index)
+                        .map(|&(_, version)| version);
+                    match locked {
+                        Some(version) if version <= desc.rv => {}
+                        _ => return false,
+                    }
                 }
             }
         }

@@ -81,7 +81,9 @@ fn main() {
         handle.join().expect("worker thread panicked");
     }
 
-    let final_total: u64 = (0..ACCOUNTS).map(|i| stm.heap().load(accounts.offset(i))).sum();
+    let final_total: u64 = (0..ACCOUNTS)
+        .map(|i| stm.heap().load(accounts.offset(i)))
+        .sum();
     println!("accounts      : {ACCOUNTS}");
     println!("final total   : {final_total}");
     println!("expected total: {}", ACCOUNTS as u64 * INITIAL_BALANCE);

@@ -41,9 +41,18 @@ fn run_one<A: TmAlgorithm>(name: &str, stm: Arc<A>) {
 
 fn main() {
     println!("concurrent red-black tree set, 4096 keys, 20% updates\n");
-    run_one("SwissTM", Arc::new(SwissTm::with_config(StmConfig::small())));
+    run_one(
+        "SwissTM",
+        Arc::new(SwissTm::with_config(StmConfig::small())),
+    );
     run_one("TL2", Arc::new(Tl2::with_config(StmConfig::small())));
-    run_one("TinySTM", Arc::new(TinyStm::with_config(StmConfig::small())));
-    run_one("RSTM", Arc::new(rstm::Rstm::with_config(StmConfig::small())));
+    run_one(
+        "TinySTM",
+        Arc::new(TinyStm::with_config(StmConfig::small())),
+    );
+    run_one(
+        "RSTM",
+        Arc::new(rstm::Rstm::with_config(StmConfig::small())),
+    );
     println!("\n(the relative ordering at higher thread counts is the paper's Figure 5)");
 }

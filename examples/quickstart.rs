@@ -51,7 +51,10 @@ fn main() {
 
     let final_value = stm.heap().load(counter);
     println!("final counter value : {final_value}");
-    println!("expected            : {}", threads as u64 * increments_per_thread);
+    println!(
+        "expected            : {}",
+        threads as u64 * increments_per_thread
+    );
     println!("commits             : {total_commits}");
     println!("aborts (retried)    : {total_aborts}");
     assert_eq!(final_value, threads as u64 * increments_per_thread);

@@ -85,5 +85,8 @@ fn main() {
     assert_eq!(stored as u64, JOBS);
     let sample = ctx.atomically(|tx| results.get(tx, 1234)).unwrap();
     assert_eq!(sample, Some(1234 * 1234));
-    println!("result[1234] = {:?} — every job ran exactly once", sample.unwrap());
+    println!(
+        "result[1234] = {:?} — every job ran exactly once",
+        sample.unwrap()
+    );
 }

@@ -172,10 +172,12 @@ fn data_structures_compose_within_one_transaction() {
     let mut ctx = ThreadContext::register(Arc::clone(&stm));
     let all_empty = ctx
         .atomically(|tx| {
-            Ok(queue.is_empty(tx)?
-                && map.len(tx)? == 0
-                && list.len(tx)? == 0
-                && tree.len(tx)? == 0)
+            Ok(
+                queue.is_empty(tx)?
+                    && map.len(tx)? == 0
+                    && list.len(tx)? == 0
+                    && tree.len(tx)? == 0,
+            )
         })
         .unwrap();
     assert!(all_empty, "aborted composite transaction leaked state");
