@@ -59,7 +59,7 @@ use stm_core::config::StmConfig;
 use stm_core::error::{Abort, TxResult};
 use stm_core::heap::TmHeap;
 use stm_core::locktable::LockTable;
-use stm_core::logs::{ReadLog, WriteLog};
+use stm_core::logs::{ReadEntry, ReadLog, StripeSet, WriteLog};
 use stm_core::tm::{DescriptorCore, TmAlgorithm, TxDescriptor};
 use stm_core::word::{Addr, Word};
 
@@ -251,27 +251,16 @@ pub struct RstmDescriptor {
     valid_ts: u64,
     read_log: ReadLog,
     write_log: WriteLog,
-    /// Objects owned by this transaction (with the version observed when the
-    /// object was acquired).
-    acquired: Vec<(usize, u64)>,
-    /// Objects on which this transaction registered as a visible reader.
-    visible_reads: Vec<usize>,
+    /// Objects owned by this transaction, with the version observed when the
+    /// object was acquired (O(1) membership and version lookup).
+    acquired: StripeSet,
+    /// Objects on which this transaction registered as a visible reader
+    /// (O(1) membership test on the read hot path).
+    visible_reads: StripeSet,
+    /// Reusable scratch buffer for the lazy variant's commit-time
+    /// acquisition order (sorted for deadlock avoidance).
+    commit_order: Vec<usize>,
     doomed: bool,
-}
-
-impl RstmDescriptor {
-    /// The object version observed when this transaction acquired
-    /// `lock_index`, if it owns the object.
-    fn acquired_version(&self, lock_index: usize) -> Option<u64> {
-        self.acquired
-            .iter()
-            .find(|&&(idx, _)| idx == lock_index)
-            .map(|&(_, version)| version)
-    }
-
-    fn owns(&self, lock_index: usize) -> bool {
-        self.acquired_version(lock_index).is_some()
-    }
 }
 
 impl TxDescriptor for RstmDescriptor {
@@ -389,8 +378,10 @@ impl Rstm {
         self.registry.shared(slot)
     }
 
-    fn validate(&self, desc: &RstmDescriptor) -> bool {
-        for entry in desc.read_log.iter() {
+    /// Validates a slice of read-log entries. The self-owned object check
+    /// is O(1) via the acquired stripe set.
+    fn entries_valid(&self, acquired: &StripeSet, entries: &[ReadEntry]) -> bool {
+        for entry in entries {
             let object = self.objects.entry_at(entry.lock_index);
             if object.version() == Some(entry.version) {
                 continue;
@@ -399,21 +390,32 @@ impl Rstm {
             // object we own whose version at acquisition time equals the one
             // the read observed — i.e. nothing committed it between our read
             // and our acquisition.
-            if desc.acquired_version(entry.lock_index) != Some(entry.version) {
+            if acquired.version_of(entry.lock_index) != Some(entry.version) {
                 return false;
             }
         }
         true
     }
 
+    /// Full read-set validation (used by the commit path).
+    fn validate(&self, desc: &RstmDescriptor) -> bool {
+        self.entries_valid(&desc.acquired, desc.read_log.entries())
+    }
+
+    /// Snapshot extension: [`ReadLog::extend_with`] orders the work — fresh
+    /// suffix first, then the opacity-mandated re-confirmation of the
+    /// validated prefix.
     fn extend(&self, desc: &mut RstmDescriptor) -> bool {
         let ts = self.commit_counter.read();
-        if self.validate(desc) {
-            desc.valid_ts = ts;
-            true
-        } else {
-            false
+        let acquired = &desc.acquired;
+        if !desc
+            .read_log
+            .extend_with(|entries| self.entries_valid(acquired, entries))
+        {
+            return false;
         }
+        desc.valid_ts = ts;
+        true
     }
 
     /// Resolves a conflict against the owner of `object`; returns `Ok(())`
@@ -464,7 +466,7 @@ impl Rstm {
     }
 
     fn acquire_object(&self, desc: &mut RstmDescriptor, lock_index: usize) -> TxResult<()> {
-        if desc.owns(lock_index) {
+        if desc.acquired.contains(lock_index) {
             return Ok(());
         }
         let object = self.objects.entry_at(lock_index);
@@ -487,7 +489,7 @@ impl Rstm {
         // Record the version observed at acquisition so commit can detect
         // read/write races on the object itself.
         let version = object.version().unwrap_or(0);
-        desc.acquired.push((lock_index, version));
+        desc.acquired.insert(lock_index, version);
         self.cm.on_write(&desc.core.shared, desc.acquired.len());
         // Visible readers conflict with the new writer right away.
         self.resolve_visible_readers(desc, object)?;
@@ -495,13 +497,13 @@ impl Rstm {
     }
 
     fn release_everything(&self, desc: &mut RstmDescriptor) {
-        for &(lock_index, _) in &desc.acquired {
-            self.objects.entry_at(lock_index).release();
+        for stripe in desc.acquired.iter() {
+            self.objects.entry_at(stripe.lock_index).release();
         }
         desc.acquired.clear();
-        for &lock_index in &desc.visible_reads {
+        for stripe in desc.visible_reads.iter() {
             self.objects
-                .entry_at(lock_index)
+                .entry_at(stripe.lock_index)
                 .remove_reader(desc.core.slot);
         }
         desc.visible_reads.clear();
@@ -547,8 +549,9 @@ impl TmAlgorithm for Rstm {
             valid_ts: 0,
             read_log: ReadLog::new(),
             write_log: WriteLog::new(),
-            acquired: Vec::with_capacity(16),
-            visible_reads: Vec::with_capacity(32),
+            acquired: StripeSet::new(),
+            visible_reads: StripeSet::new(),
+            commit_order: Vec::with_capacity(16),
             doomed: false,
         }
     }
@@ -608,16 +611,22 @@ impl TmAlgorithm for Rstm {
         }
 
         if self.variant.visibility == ReadVisibility::Visible
-            && !desc.visible_reads.contains(&lock_index)
+            && !desc.visible_reads.contains(lock_index)
         {
             object.add_reader(desc.core.slot);
-            desc.visible_reads.push(lock_index);
+            desc.visible_reads.insert(lock_index, 0);
         }
 
-        // Consistent version/value/version sample.
+        // Consistent version/value/version sample. The spin paths honour
+        // remote abort requests: the object may be write-back-locked by a
+        // committer that is waiting on the contention manager's decision
+        // against us.
         let (value, version) = loop {
             let pre = object.version_raw();
             if pre & 1 == 1 {
+                if desc.core.shared.abort_requested() {
+                    return Err(self.doom(desc, Abort::REMOTE));
+                }
                 std::hint::spin_loop();
                 continue;
             }
@@ -625,6 +634,9 @@ impl TmAlgorithm for Rstm {
             let post = object.version_raw();
             if pre == post {
                 break (value, pre >> 1);
+            }
+            if desc.core.shared.abort_requested() {
+                return Err(self.doom(desc, Abort::REMOTE));
             }
             std::hint::spin_loop();
         };
@@ -653,18 +665,16 @@ impl TmAlgorithm for Rstm {
             if let Err(abort) = self.acquire_object(desc, lock_index) {
                 return Err(self.doom(desc, abort));
             }
-            let version = desc
-                .acquired
-                .iter()
-                .find(|&&(idx, _)| idx == lock_index)
-                .map(|&(_, v)| v)
-                .unwrap_or(0);
+            let version = desc.acquired.version_of(lock_index).unwrap_or(0);
             if version > desc.valid_ts && !self.extend(desc) {
                 return Err(self.doom(desc, Abort::READ_VALIDATION));
             }
         }
         desc.write_log.record(addr, value, lock_index, 0);
         if self.variant.acquisition == Acquisition::Lazy {
+            // Track the distinct write-set stripes so commit-time
+            // acquisition needs no sort+dedup pass over the redo log.
+            desc.write_log.record_stripe(lock_index, 0);
             self.cm.on_write(&desc.core.shared, desc.write_log.len());
         }
         Ok(())
@@ -679,9 +689,9 @@ impl TmAlgorithm for Rstm {
         }
         if desc.write_log.is_empty() {
             // Read-only: clean up visible-reader registrations.
-            for &lock_index in &desc.visible_reads {
+            for stripe in desc.visible_reads.iter() {
                 self.objects
-                    .entry_at(lock_index)
+                    .entry_at(stripe.lock_index)
                     .remove_reader(desc.core.slot);
             }
             desc.visible_reads.clear();
@@ -689,15 +699,22 @@ impl TmAlgorithm for Rstm {
             return Ok(());
         }
 
-        // Lazy variant: acquire the whole write set now.
+        // Lazy variant: acquire the whole write set now, in sorted order
+        // for deadlock avoidance. The distinct stripes come from the write
+        // log's stripe set; the sort reuses a per-descriptor scratch buffer.
         if self.variant.acquisition == Acquisition::Lazy {
-            let mut stripes: Vec<usize> = desc.write_log.iter().map(|e| e.lock_index).collect();
-            stripes.sort_unstable();
-            stripes.dedup();
-            for lock_index in stripes {
+            let mut order = std::mem::take(&mut desc.commit_order);
+            desc.write_log.sorted_stripe_indices(&mut order);
+            let mut acquired = Ok(());
+            for &lock_index in &order {
                 if let Err(abort) = self.acquire_object(desc, lock_index) {
-                    return Err(self.doom(desc, abort));
+                    acquired = Err(abort);
+                    break;
                 }
+            }
+            desc.commit_order = order;
+            if let Err(abort) = acquired {
+                return Err(self.doom(desc, abort));
             }
         }
 
@@ -707,21 +724,21 @@ impl TmAlgorithm for Rstm {
         }
 
         // Install the updates under the per-object write-back locks.
-        for &(lock_index, _) in &desc.acquired {
-            self.objects.entry_at(lock_index).lock_version();
+        for stripe in desc.acquired.iter() {
+            self.objects.entry_at(stripe.lock_index).lock_version();
         }
         for entry in desc.write_log.iter() {
             self.heap.store(entry.addr, entry.value);
         }
-        for &(lock_index, _) in &desc.acquired {
-            let object = self.objects.entry_at(lock_index);
+        for stripe in desc.acquired.iter() {
+            let object = self.objects.entry_at(stripe.lock_index);
             object.publish_version(ts);
             object.release();
         }
         desc.acquired.clear();
-        for &lock_index in &desc.visible_reads {
+        for stripe in desc.visible_reads.iter() {
             self.objects
-                .entry_at(lock_index)
+                .entry_at(stripe.lock_index)
                 .remove_reader(desc.core.slot);
         }
         desc.visible_reads.clear();
@@ -875,6 +892,35 @@ mod tests {
         let stm = Rstm::with_config(StmConfig::small());
         assert_eq!(stm.contention_manager().name(), "polka");
         assert_eq!(stm.variant(), RstmVariant::eager_invisible());
+    }
+
+    #[test]
+    fn reader_spinning_on_write_back_locked_object_honours_remote_abort() {
+        // Regression test: a reader spinning on an object whose write-back
+        // lock is held must notice a remote abort request instead of
+        // spinning until the lock is released.
+        let stm = stm_with(RstmVariant::eager_invisible());
+        let addr = stm.heap().alloc_zeroed(1).unwrap();
+        // Simulate a committer stuck mid-write-back.
+        stm.objects.entry(addr).lock_version();
+
+        let reader_stm = Arc::clone(&stm);
+        let reader = std::thread::spawn(move || {
+            let mut ctx = ThreadContext::register(reader_stm).with_retry_budget(3);
+            ctx.atomically(|tx| tx.read(addr))
+        });
+        while !reader.is_finished() {
+            for shared in stm.registry().iter_registered() {
+                shared.request_abort();
+            }
+            std::thread::yield_now();
+        }
+        let result = reader.join().unwrap();
+        assert!(matches!(
+            result,
+            Err(stm_core::error::StmError::RetryBudgetExhausted { attempts: 3 })
+        ));
+        stm.objects.entry(addr).publish_version(0);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use rstm::Rstm;
+use rstm::{Rstm, RstmVariant};
 use stm_core::config::StmConfig;
 use stm_core::tm::{ThreadContext, TmAlgorithm};
 use swisstm::SwissTm;
@@ -21,6 +21,12 @@ use tl2::Tl2;
 fn config() -> StmConfig {
     StmConfig::small()
 }
+
+/// Entries per transaction in the large read/write-set cases: big enough
+/// that any per-operation scan of the descriptor's own logs (the seed's
+/// `Vec::contains`-style acquired-stripe and visible-reader tracking)
+/// dominates the run time quadratically.
+const LARGE_SET: usize = 4096;
 
 fn bench_algorithm<A: TmAlgorithm>(c: &mut Criterion, group_name: &str, stm: Arc<A>) {
     let mut group = c.benchmark_group(group_name);
@@ -68,6 +74,65 @@ fn bench_algorithm<A: TmAlgorithm>(c: &mut Criterion, group_name: &str, stm: Arc
     group.finish();
 }
 
+/// Single transactions with ≥4k-entry read/write sets. These isolate the
+/// cost of the descriptor-side log bookkeeping: with O(1) stripe tracking
+/// every case is linear in the set size; with the seed's linear scans the
+/// write-heavy cases (and visible reads) degrade quadratically.
+fn bench_large_sets<A: TmAlgorithm>(c: &mut Criterion, group_name: &str, stm: Arc<A>) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(700));
+    let block = stm.heap().alloc_zeroed(LARGE_SET).expect("heap exhausted");
+    let mut ctx = ThreadContext::register(Arc::clone(&stm));
+
+    group.bench_function(BenchmarkId::from_parameter("read_4096_words"), |b| {
+        b.iter(|| {
+            ctx.atomically(|tx| {
+                let mut sum = 0;
+                for i in 0..LARGE_SET {
+                    sum += tx.read(block.offset(i))?;
+                }
+                Ok(sum)
+            })
+            .unwrap()
+        });
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("write_4096_words"), |b| {
+        b.iter(|| {
+            ctx.atomically(|tx| {
+                for i in 0..LARGE_SET {
+                    tx.write(block.offset(i), i as u64)?;
+                }
+                Ok(())
+            })
+            .unwrap()
+        });
+    });
+
+    group.bench_function(
+        BenchmarkId::from_parameter("read_after_write_4096_words"),
+        |b| {
+            b.iter(|| {
+                ctx.atomically(|tx| {
+                    for i in 0..LARGE_SET {
+                        tx.write(block.offset(i), i as u64)?;
+                    }
+                    let mut sum = 0;
+                    for i in 0..LARGE_SET {
+                        sum += tx.read(block.offset(i))?;
+                    }
+                    Ok(sum)
+                })
+                .unwrap()
+            });
+        },
+    );
+
+    group.finish();
+}
+
 fn primitives(c: &mut Criterion) {
     bench_algorithm(
         c,
@@ -83,5 +148,32 @@ fn primitives(c: &mut Criterion) {
     bench_algorithm(c, "primitives_rstm", Arc::new(Rstm::with_config(config())));
 }
 
-criterion_group!(stm_primitives, primitives);
+fn large_sets(c: &mut Criterion) {
+    bench_large_sets(
+        c,
+        "large_sets_swisstm",
+        Arc::new(SwissTm::with_config(config())),
+    );
+    bench_large_sets(c, "large_sets_tl2", Arc::new(Tl2::with_config(config())));
+    bench_large_sets(
+        c,
+        "large_sets_tinystm",
+        Arc::new(TinyStm::with_config(config())),
+    );
+    bench_large_sets(c, "large_sets_rstm", Arc::new(Rstm::with_config(config())));
+    // The visible-readers variant additionally exercises the per-read
+    // registration set (the seed's `visible_reads.contains` linear scan).
+    bench_large_sets(
+        c,
+        "large_sets_rstm_visible",
+        Arc::new(
+            Rstm::builder()
+                .config(config())
+                .variant(RstmVariant::eager_visible())
+                .build(),
+        ),
+    );
+}
+
+criterion_group!(stm_primitives, primitives, large_sets);
 criterion_main!(stm_primitives);

@@ -45,7 +45,7 @@ pub fn spin(iterations: u64) {
 }
 
 /// Randomized linear back-off: spin for a uniformly random number of
-/// iterations in `[0, successive_aborts * BACKOFF_UNIT]`.
+/// iterations in the half-open range `[0, successive_aborts * BACKOFF_UNIT)`.
 ///
 /// This is the paper's `wait-random(tx.succ-abort-count)`.
 pub fn wait_random_linear(successive_aborts: u64) {
@@ -54,17 +54,17 @@ pub fn wait_random_linear(successive_aborts: u64) {
     }
     let bound = successive_aborts.saturating_mul(BACKOFF_UNIT).max(1);
     let mut rng = FastRng::new(thread_seed());
-    let iterations = rng.next_below(bound + 1);
+    let iterations = rng.next_below(bound);
     spin(iterations);
 }
 
 /// Randomized exponential back-off: spin for a random number of iterations
-/// in `[0, 2^min(attempt, MAX_EXPONENT) * BACKOFF_UNIT]`.
+/// in the half-open range `[0, 2^min(attempt, MAX_EXPONENT) * BACKOFF_UNIT)`.
 pub fn wait_random_exponential(attempt: u32) {
     let exp = attempt.min(MAX_EXPONENT);
     let bound = (1u64 << exp).saturating_mul(BACKOFF_UNIT);
     let mut rng = FastRng::new(thread_seed());
-    let iterations = rng.next_below(bound + 1);
+    let iterations = rng.next_below(bound);
     spin(iterations);
 }
 

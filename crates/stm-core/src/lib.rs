@@ -49,6 +49,7 @@ pub mod clock;
 pub mod cm;
 pub mod config;
 pub mod error;
+pub mod hash;
 pub mod heap;
 pub mod locktable;
 pub mod logs;

@@ -353,6 +353,13 @@ impl<A: TmAlgorithm> ThreadContext<A> {
                             return Ok(value);
                         }
                         Err(abort) => {
+                            // The contract promises `rollback` on *every*
+                            // abort path, including a failed commit: commit
+                            // released the algorithm's locks, but descriptor
+                            // state (e.g. a doomed flag) is only reset here.
+                            // `rollback` is idempotent, so this is safe even
+                            // when commit already cleaned everything up.
+                            self.alg.rollback(&mut self.desc);
                             self.finish_abort(&shared, abort.reason);
                         }
                     }
@@ -392,14 +399,17 @@ impl<A: TmAlgorithm> ThreadContext<A> {
 
     fn finish_commit(&mut self, shared: &TxShared, read_only: bool) {
         let core = self.desc.core_mut();
-        // Frees become effective only now that the transaction committed.
-        let freed: Vec<(Addr, usize)> = core.alloc_log.freed().to_vec();
-        core.alloc_log.clear();
         let reads = core.attempt_reads;
         let writes = core.attempt_writes;
-        for (addr, words) in freed {
+        // Frees become effective only now that the transaction committed.
+        // Take the log instead of cloning it so the commit epilogue stays
+        // allocation-free; the emptied log (with its capacity) is put back.
+        let mut alloc_log = std::mem::take(&mut core.alloc_log);
+        for &(addr, words) in alloc_log.freed() {
             self.alg.heap().free(addr, words);
         }
+        alloc_log.clear();
+        self.desc.core_mut().alloc_log = alloc_log;
         self.stats.reads += reads;
         self.stats.writes += writes;
         self.stats.record_commit(read_only);
@@ -410,14 +420,16 @@ impl<A: TmAlgorithm> ThreadContext<A> {
 
     fn finish_abort(&mut self, shared: &TxShared, reason: AbortReason) {
         let core = self.desc.core_mut();
-        // Allocations of the failed attempt are rolled back.
-        let allocated: Vec<(Addr, usize)> = core.alloc_log.allocated().to_vec();
-        core.alloc_log.clear();
         let reads = core.attempt_reads;
         let writes = core.attempt_writes;
-        for (addr, words) in allocated {
+        // Allocations of the failed attempt are rolled back; same
+        // allocation-free take-and-restore as `finish_commit`.
+        let mut alloc_log = std::mem::take(&mut core.alloc_log);
+        for &(addr, words) in alloc_log.allocated() {
             self.alg.heap().free(addr, words);
         }
+        alloc_log.clear();
+        self.desc.core_mut().alloc_log = alloc_log;
         self.stats.reads += reads;
         self.stats.writes += writes;
         self.stats.record_abort(reason);
@@ -514,6 +526,124 @@ mod tests {
             .unwrap();
         assert_eq!(ptr, target);
         assert_eq!(field, 77);
+    }
+
+    /// A minimal algorithm whose commit fails a configurable number of
+    /// times. Commit failure leaves `needs_rollback` set on the descriptor;
+    /// only `rollback` clears it, and `begin` asserts it is clear — so the
+    /// test fails loudly if the driver ever skips `rollback` on the
+    /// failed-commit path (the contract documented on [`TmAlgorithm`]).
+    struct FlakyTm {
+        heap: TmHeap,
+        registry: ThreadRegistry,
+        cm: crate::cm::Timid,
+        commit_failures: std::sync::atomic::AtomicU64,
+        rollbacks: std::sync::atomic::AtomicU64,
+    }
+
+    struct FlakyDescriptor {
+        core: DescriptorCore,
+        needs_rollback: bool,
+    }
+
+    impl TxDescriptor for FlakyDescriptor {
+        fn core(&self) -> &DescriptorCore {
+            &self.core
+        }
+
+        fn core_mut(&mut self) -> &mut DescriptorCore {
+            &mut self.core
+        }
+
+        fn is_read_only(&self) -> bool {
+            false
+        }
+    }
+
+    impl TmAlgorithm for FlakyTm {
+        type Descriptor = FlakyDescriptor;
+
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+
+        fn heap(&self) -> &TmHeap {
+            &self.heap
+        }
+
+        fn registry(&self) -> &ThreadRegistry {
+            &self.registry
+        }
+
+        fn contention_manager(&self) -> &dyn ContentionManager {
+            &self.cm
+        }
+
+        fn create_descriptor(&self, slot: ThreadSlot) -> FlakyDescriptor {
+            FlakyDescriptor {
+                core: DescriptorCore::new(slot, Arc::clone(self.registry.shared(slot))),
+                needs_rollback: false,
+            }
+        }
+
+        fn begin(&self, desc: &mut FlakyDescriptor, _is_restart: bool) {
+            assert!(
+                !desc.needs_rollback,
+                "begin reached without rollback after a failed commit"
+            );
+            desc.core.reset_attempt();
+        }
+
+        fn read(&self, desc: &mut FlakyDescriptor, addr: Addr) -> TxResult<Word> {
+            desc.core.attempt_reads += 1;
+            Ok(self.heap.load(addr))
+        }
+
+        fn write(&self, desc: &mut FlakyDescriptor, addr: Addr, value: Word) -> TxResult<()> {
+            desc.core.attempt_writes += 1;
+            self.heap.store(addr, value);
+            Ok(())
+        }
+
+        fn commit(&self, desc: &mut FlakyDescriptor) -> TxResult<()> {
+            use std::sync::atomic::Ordering;
+            let remaining = self.commit_failures.load(Ordering::Relaxed);
+            if remaining > 0 {
+                self.commit_failures.store(remaining - 1, Ordering::Relaxed);
+                desc.needs_rollback = true;
+                return Err(Abort::READ_VALIDATION);
+            }
+            Ok(())
+        }
+
+        fn rollback(&self, desc: &mut FlakyDescriptor) {
+            desc.needs_rollback = false;
+            self.rollbacks
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn rollback_runs_after_a_failed_commit() {
+        let stm = Arc::new(FlakyTm {
+            heap: TmHeap::new(HeapConfig::small()),
+            registry: ThreadRegistry::new(),
+            cm: crate::cm::Timid::new(),
+            commit_failures: std::sync::atomic::AtomicU64::new(2),
+            rollbacks: std::sync::atomic::AtomicU64::new(0),
+        });
+        let addr = stm.heap().alloc_zeroed(1).unwrap();
+        let mut ctx = ThreadContext::register(Arc::clone(&stm));
+        // Two commit failures, then success; `begin` panics if any failed
+        // commit was not followed by `rollback`.
+        ctx.atomically(|tx| tx.write(addr, 9)).unwrap();
+        assert_eq!(
+            stm.rollbacks.load(std::sync::atomic::Ordering::Relaxed),
+            2,
+            "driver must roll back once per failed commit"
+        );
+        assert_eq!(ctx.stats().aborts, 2);
+        assert_eq!(ctx.stats().commits, 1);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use stm_core::config::StmConfig;
 use stm_core::error::{Abort, TxResult};
 use stm_core::heap::TmHeap;
 use stm_core::locktable::LockTable;
-use stm_core::logs::{ReadLog, WriteLog};
+use stm_core::logs::{ReadEntry, ReadLog, WriteLog};
 use stm_core::tm::{DescriptorCore, TmAlgorithm, TxDescriptor};
 use stm_core::word::{Addr, Word};
 
@@ -124,20 +124,23 @@ impl SwissTm {
         self.registry.shared(slot)
     }
 
-    /// `validate` (paper lines 50–53): every read-log entry must still carry
-    /// the version it had when first read. A mismatch is benign only for a
-    /// stripe whose write lock we hold *and* whose read-lock version at
-    /// acquisition time equals the version the read observed — i.e. nothing
-    /// committed between our read and our acquisition (the read lock is
-    /// locked by us during commit, so the raw word cannot match then).
-    fn validate(&self, desc: &SwissDescriptor) -> bool {
-        for entry in desc.read_log.iter() {
+    /// `validate` (paper lines 50–53) over a slice of read-log entries:
+    /// every entry must still carry the version it had when first read. A
+    /// mismatch is benign only for a stripe whose write lock we hold *and*
+    /// whose read-lock version at acquisition time equals the version the
+    /// read observed — i.e. nothing committed between our read and our
+    /// acquisition (the read lock is locked by us during commit, so the raw
+    /// word cannot match then). The acquired-stripe lookup is O(1) via the
+    /// write log's stripe set, so validation is linear in the number of
+    /// checked entries, not O(entries × write-set).
+    fn entries_valid(&self, write_log: &WriteLog, entries: &[ReadEntry]) -> bool {
+        for entry in entries {
             let stripe = self.lock_table.entry_at(entry.lock_index);
             let current = stripe.read_lock_raw();
             if current == entry.version << 1 {
                 continue;
             }
-            match desc.acquired_version(entry.lock_index) {
+            match write_log.stripe_version(entry.lock_index) {
                 Some(version) if version == entry.version => {}
                 _ => return false,
             }
@@ -145,25 +148,36 @@ impl SwissTm {
         true
     }
 
-    /// `extend` (paper lines 54–57): re-validate and, on success, advance the
-    /// transaction's validity timestamp to the current commit counter.
+    /// Full read-set validation (used by the commit path).
+    fn validate(&self, desc: &SwissDescriptor) -> bool {
+        self.entries_valid(&desc.write_log, desc.read_log.entries())
+    }
+
+    /// `extend` (paper lines 54–57): re-validate and, on success, advance
+    /// the transaction's validity timestamp to the current commit counter.
+    /// [`ReadLog::extend_with`] orders the work — fresh suffix first, then
+    /// the opacity-mandated re-confirmation of the validated prefix.
     fn extend(&self, desc: &mut SwissDescriptor) -> bool {
         let ts = self.commit_ts.read();
-        if self.validate(desc) {
-            desc.valid_ts = ts;
-            true
-        } else {
-            false
+        let write_log = &desc.write_log;
+        if !desc
+            .read_log
+            .extend_with(|entries| self.entries_valid(write_log, entries))
+        {
+            return false;
         }
+        desc.valid_ts = ts;
+        true
     }
 
     /// Releases all acquired write locks (paper `rollback`, lines 46–49,
-    /// minus the contention-manager hook which the driver invokes).
+    /// minus the contention-manager hook which the driver invokes). The
+    /// stripe records themselves are cleared with the write log by the
+    /// caller.
     fn release_write_locks(&self, desc: &mut SwissDescriptor) {
-        for &(lock_index, _) in &desc.acquired {
-            self.lock_table.entry_at(lock_index).release_write();
+        for stripe in desc.write_log.stripes() {
+            self.lock_table.entry_at(stripe.lock_index).release_write();
         }
-        desc.acquired.clear();
     }
 
     fn doom(&self, desc: &mut SwissDescriptor, abort: Abort) -> Abort {
@@ -182,6 +196,11 @@ impl Default for SwissTm {
 }
 
 /// Transaction descriptor of [`SwissTm`].
+///
+/// The stripes whose write lock the transaction holds — together with the
+/// read-lock version observed at acquisition time (restored if commit-time
+/// validation fails) — live in the write log's stripe set, which answers
+/// ownership and version queries in O(1).
 #[derive(Debug)]
 pub struct SwissDescriptor {
     core: DescriptorCore,
@@ -190,24 +209,9 @@ pub struct SwissDescriptor {
     valid_ts: u64,
     read_log: ReadLog,
     write_log: WriteLog,
-    /// Stripes whose write lock this transaction holds, with the read-lock
-    /// version observed at acquisition time (restored if commit-time
-    /// validation fails).
-    acquired: Vec<(usize, u64)>,
     /// Set once an operation has aborted the attempt; subsequent operations
     /// fail fast until the driver restarts the transaction.
     doomed: bool,
-}
-
-impl SwissDescriptor {
-    /// The read-lock version observed when this transaction acquired the
-    /// stripe's write lock, if it owns the stripe.
-    fn acquired_version(&self, lock_index: usize) -> Option<u64> {
-        self.acquired
-            .iter()
-            .find(|&&(idx, _)| idx == lock_index)
-            .map(|&(_, version)| version)
-    }
 }
 
 impl TxDescriptor for SwissDescriptor {
@@ -249,7 +253,6 @@ impl TmAlgorithm for SwissTm {
             valid_ts: 0,
             read_log: ReadLog::new(),
             write_log: WriteLog::new(),
-            acquired: Vec::with_capacity(16),
             doomed: false,
         }
     }
@@ -260,7 +263,6 @@ impl TmAlgorithm for SwissTm {
         desc.core.reset_attempt();
         desc.read_log.clear();
         desc.write_log.clear();
-        desc.acquired.clear();
         desc.doomed = false;
         desc.valid_ts = self.commit_ts.read();
         self.cm.on_start(&desc.core.shared, is_restart);
@@ -290,10 +292,16 @@ impl TmAlgorithm for SwissTm {
         }
 
         // Consistent (r-lock, value, r-lock) triple read: retry until the two
-        // read-lock samples agree and are unlocked.
+        // read-lock samples agree and are unlocked. The spin paths honour
+        // remote abort requests — the stripe may be read-locked by a writer
+        // that is itself waiting for *us* to abort, so spinning blindly
+        // could ignore the contention manager's decision indefinitely.
         let (value, version) = loop {
             let first = stripe.read_lock_raw();
             if let ReadLockState::Locked = StripeEntry::decode_read_lock(first) {
+                if desc.core.shared.abort_requested() {
+                    return Err(self.doom(desc, Abort::REMOTE));
+                }
                 std::hint::spin_loop();
                 continue;
             }
@@ -301,6 +309,9 @@ impl TmAlgorithm for SwissTm {
             let second = stripe.read_lock_raw();
             if first == second {
                 break (value, first >> 1);
+            }
+            if desc.core.shared.abort_requested() {
+                return Err(self.doom(desc, Abort::REMOTE));
             }
             std::hint::spin_loop();
         };
@@ -376,14 +387,18 @@ impl TmAlgorithm for SwissTm {
             ReadLockState::Unlocked { version } => version,
             // The previous owner unlocks the read lock before releasing the
             // write lock, so observing it locked here is impossible; be
-            // conservative anyway.
+            // conservative anyway. The write lock we just took is not yet in
+            // the stripe set, so it must be released here or it would leak
+            // past the rollback.
             ReadLockState::Locked => {
+                stripe.release_write();
                 return Err(self.doom(desc, Abort::WRITE_CONFLICT));
             }
         };
-        desc.acquired.push((lock_index, version));
+        desc.write_log.record_stripe(lock_index, version);
         desc.write_log.record(addr, value, lock_index, version);
-        self.cm.on_write(&desc.core.shared, desc.acquired.len());
+        self.cm
+            .on_write(&desc.core.shared, desc.write_log.stripe_count());
 
         // Preserve opacity: if the stripe moved past our snapshot we must be
         // able to extend, otherwise the transaction is inconsistent.
@@ -409,18 +424,18 @@ impl TmAlgorithm for SwissTm {
         }
 
         // Lock the read locks of every stripe we are about to update.
-        for &(lock_index, _) in &desc.acquired {
-            self.lock_table.entry_at(lock_index).lock_read();
+        for stripe in desc.write_log.stripes() {
+            self.lock_table.entry_at(stripe.lock_index).lock_read();
         }
 
         let ts = self.commit_ts.increment_and_get();
 
         if ts > desc.valid_ts + 1 && !self.validate(desc) {
             // Restore read-lock versions, release write locks and abort.
-            for &(lock_index, version) in &desc.acquired {
+            for stripe in desc.write_log.stripes() {
                 self.lock_table
-                    .entry_at(lock_index)
-                    .restore_read_version(version);
+                    .entry_at(stripe.lock_index)
+                    .restore_read_version(stripe.version);
             }
             return Err(self.doom(desc, Abort::READ_VALIDATION));
         }
@@ -429,12 +444,11 @@ impl TmAlgorithm for SwissTm {
         for entry in desc.write_log.iter() {
             self.heap.store(entry.addr, entry.value);
         }
-        for &(lock_index, _) in &desc.acquired {
-            let stripe = self.lock_table.entry_at(lock_index);
-            stripe.publish_version(ts);
-            stripe.release_write();
+        for stripe in desc.write_log.stripes() {
+            let entry = self.lock_table.entry_at(stripe.lock_index);
+            entry.publish_version(ts);
+            entry.release_write();
         }
-        desc.acquired.clear();
         desc.read_log.clear();
         desc.write_log.clear();
         Ok(())
@@ -605,6 +619,39 @@ mod tests {
         }
         let total: u64 = (0..accounts).map(|i| stm.heap().load(base.offset(i))).sum();
         assert_eq!(total, initial * accounts as u64);
+    }
+
+    #[test]
+    fn reader_spinning_on_locked_stripe_honours_remote_abort() {
+        // Regression test: a reader spinning in the consistent-read loop on
+        // a read-locked stripe must notice a remote abort request instead of
+        // spinning until the lock is released.
+        let stm = Arc::new(SwissTm::with_config(StmConfig::small()));
+        let addr = stm.heap().alloc_zeroed(1).unwrap();
+        // Simulate a writer stuck mid-commit: the stripe's read lock stays
+        // locked for the whole test.
+        stm.lock_table.entry(addr).lock_read();
+
+        let reader_stm = Arc::clone(&stm);
+        let reader = std::thread::spawn(move || {
+            let mut ctx = ThreadContext::register(reader_stm).with_retry_budget(3);
+            ctx.atomically(|tx| tx.read(addr))
+        });
+        // Keep requesting an abort (each attempt clears the flag) until the
+        // reader gives up its retry budget. Without the abort check in the
+        // read loop this never happens and the test hangs.
+        while !reader.is_finished() {
+            for shared in stm.registry().iter_registered() {
+                shared.request_abort();
+            }
+            std::thread::yield_now();
+        }
+        let result = reader.join().unwrap();
+        assert!(matches!(
+            result,
+            Err(stm_core::error::StmError::RetryBudgetExhausted { attempts: 3 })
+        ));
+        stm.lock_table.entry(addr).publish_version(0);
     }
 
     #[test]

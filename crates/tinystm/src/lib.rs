@@ -45,7 +45,7 @@ use stm_core::config::StmConfig;
 use stm_core::error::{Abort, TxResult};
 use stm_core::heap::TmHeap;
 use stm_core::locktable::LockTable;
-use stm_core::logs::{ReadLog, WriteLog};
+use stm_core::logs::{ReadEntry, ReadLog, WriteLog};
 use stm_core::tm::{DescriptorCore, TmAlgorithm, TxDescriptor};
 use stm_core::word::{Addr, Word};
 
@@ -135,6 +135,10 @@ impl OwnedLock {
 }
 
 /// Transaction descriptor of [`TinyStm`].
+///
+/// The stripes owned by the transaction — with the version to restore on
+/// abort — live in the write log's stripe set, which answers ownership and
+/// version queries in O(1).
 #[derive(Debug)]
 pub struct TinyDescriptor {
     core: DescriptorCore,
@@ -142,21 +146,7 @@ pub struct TinyDescriptor {
     valid_ts: u64,
     read_log: ReadLog,
     write_log: WriteLog,
-    /// Stripes owned by this transaction, with the version to restore on
-    /// abort.
-    acquired: Vec<(usize, u64)>,
     doomed: bool,
-}
-
-impl TinyDescriptor {
-    /// The version the stripe carried when this transaction acquired its
-    /// lock, if it owns the stripe.
-    fn acquired_version(&self, lock_index: usize) -> Option<u64> {
-        self.acquired
-            .iter()
-            .find(|&&(index, _)| index == lock_index)
-            .map(|&(_, version)| version)
-    }
 }
 
 impl TxDescriptor for TinyDescriptor {
@@ -263,8 +253,10 @@ impl TinyStm {
         self.registry.shared(slot)
     }
 
-    fn validate(&self, desc: &TinyDescriptor) -> bool {
-        for entry in desc.read_log.iter() {
+    /// Validates a slice of read-log entries. The self-owned stripe check
+    /// is O(1) via the write log's stripe set.
+    fn entries_valid(&self, slot: ThreadSlot, write_log: &WriteLog, entries: &[ReadEntry]) -> bool {
+        for entry in entries {
             let lock = self.lock_table.entry_at(entry.lock_index);
             match lock.state() {
                 OwnedLockState::Free { version } => {
@@ -273,14 +265,14 @@ impl TinyStm {
                     }
                 }
                 OwnedLockState::Owned { owner } => {
-                    if owner != desc.core.slot {
+                    if owner != slot {
                         return false;
                     }
                     // We own the stripe, so its version word is hidden behind
                     // the lock — but the version it carried when we acquired
                     // it must equal the one this read observed, otherwise
                     // another transaction committed in between.
-                    if desc.acquired_version(entry.lock_index) != Some(entry.version) {
+                    if write_log.stripe_version(entry.lock_index) != Some(entry.version) {
                         return false;
                     }
                 }
@@ -289,21 +281,36 @@ impl TinyStm {
         true
     }
 
-    fn extend(&self, desc: &mut TinyDescriptor) -> bool {
-        let ts = self.clock.read();
-        if self.validate(desc) {
-            desc.valid_ts = ts;
-            true
-        } else {
-            false
-        }
+    /// Full read-set validation (used by the commit path).
+    fn validate(&self, desc: &TinyDescriptor) -> bool {
+        self.entries_valid(desc.core.slot, &desc.write_log, desc.read_log.entries())
     }
 
-    fn release_locks(&self, desc: &mut TinyDescriptor) {
-        for &(lock_index, version) in &desc.acquired {
-            self.lock_table.entry_at(lock_index).restore(version);
+    /// Snapshot extension (the LSA scheme). [`ReadLog::extend_with`] orders
+    /// the work — fresh suffix first, then the opacity-mandated
+    /// re-confirmation of the validated prefix.
+    fn extend(&self, desc: &mut TinyDescriptor) -> bool {
+        let ts = self.clock.read();
+        let slot = desc.core.slot;
+        let write_log = &desc.write_log;
+        if !desc
+            .read_log
+            .extend_with(|entries| self.entries_valid(slot, write_log, entries))
+        {
+            return false;
         }
-        desc.acquired.clear();
+        desc.valid_ts = ts;
+        true
+    }
+
+    /// Restores every owned stripe's pre-acquisition version. The stripe
+    /// records themselves are cleared with the write log by the caller.
+    fn release_locks(&self, desc: &mut TinyDescriptor) {
+        for stripe in desc.write_log.stripes() {
+            self.lock_table
+                .entry_at(stripe.lock_index)
+                .restore(stripe.version);
+        }
     }
 
     fn doom(&self, desc: &mut TinyDescriptor, abort: Abort) -> Abort {
@@ -346,7 +353,6 @@ impl TmAlgorithm for TinyStm {
             valid_ts: 0,
             read_log: ReadLog::new(),
             write_log: WriteLog::new(),
-            acquired: Vec::with_capacity(16),
             doomed: false,
         }
     }
@@ -355,7 +361,6 @@ impl TmAlgorithm for TinyStm {
         desc.core.reset_attempt();
         desc.read_log.clear();
         desc.write_log.clear();
-        desc.acquired.clear();
         desc.doomed = false;
         desc.valid_ts = self.clock.read();
         self.cm.on_start(&desc.core.shared, is_restart);
@@ -461,9 +466,10 @@ impl TmAlgorithm for TinyStm {
             }
         };
 
-        desc.acquired.push((lock_index, version));
+        desc.write_log.record_stripe(lock_index, version);
         desc.write_log.record(addr, value, lock_index, version);
-        self.cm.on_write(&desc.core.shared, desc.acquired.len());
+        self.cm
+            .on_write(&desc.core.shared, desc.write_log.stripe_count());
 
         if version > desc.valid_ts && !self.extend(desc) {
             return Err(self.doom(desc, Abort::READ_VALIDATION));
@@ -491,10 +497,9 @@ impl TmAlgorithm for TinyStm {
         for entry in desc.write_log.iter() {
             self.heap.store(entry.addr, entry.value);
         }
-        for &(lock_index, _) in &desc.acquired {
-            self.lock_table.entry_at(lock_index).publish(ts);
+        for stripe in desc.write_log.stripes() {
+            self.lock_table.entry_at(stripe.lock_index).publish(ts);
         }
-        desc.acquired.clear();
         desc.read_log.clear();
         desc.write_log.clear();
         Ok(())

@@ -49,7 +49,7 @@ use stm_core::config::StmConfig;
 use stm_core::error::{Abort, TxResult};
 use stm_core::heap::TmHeap;
 use stm_core::locktable::LockTable;
-use stm_core::logs::{ReadLog, WriteLog};
+use stm_core::logs::{ReadLog, StripeSet, WriteLog};
 use stm_core::tm::{DescriptorCore, TmAlgorithm, TxDescriptor};
 use stm_core::word::{Addr, Word};
 
@@ -141,8 +141,12 @@ pub struct Tl2Descriptor {
     read_log: ReadLog,
     write_log: WriteLog,
     /// Stripes locked during the current commit attempt, with the version to
-    /// restore on failure.
-    commit_locked: Vec<(usize, u64)>,
+    /// restore on failure (O(1) lookup during read-set validation).
+    commit_locked: StripeSet,
+    /// Reusable scratch buffer holding the write-set stripes in the global
+    /// acquisition order used by commit (sorted to avoid deadlocks between
+    /// concurrent committers).
+    commit_order: Vec<usize>,
     doomed: bool,
 }
 
@@ -270,12 +274,7 @@ impl Tl2 {
                     // carried just before we locked it must still be covered
                     // by our read version, otherwise another transaction
                     // committed it after our snapshot.
-                    let locked = desc
-                        .commit_locked
-                        .iter()
-                        .find(|&&(index, _)| index == entry.lock_index)
-                        .map(|&(_, version)| version);
-                    match locked {
+                    match desc.commit_locked.version_of(entry.lock_index) {
                         Some(version) if version <= desc.rv => {}
                         _ => return false,
                     }
@@ -286,10 +285,51 @@ impl Tl2 {
     }
 
     fn release_commit_locks(&self, desc: &mut Tl2Descriptor) {
-        for &(lock_index, version) in &desc.commit_locked {
-            self.lock_table.entry_at(lock_index).restore(version);
+        for stripe in desc.commit_locked.iter() {
+            self.lock_table
+                .entry_at(stripe.lock_index)
+                .restore(stripe.version);
         }
         desc.commit_locked.clear();
+    }
+
+    /// Locks every stripe in `order` for the committing transaction,
+    /// consulting the contention manager on conflicts. Successfully locked
+    /// stripes are recorded in `commit_locked` (with their pre-lock version)
+    /// so the caller can release them on any failure path.
+    fn lock_write_set(&self, desc: &mut Tl2Descriptor, order: &[usize]) -> TxResult<()> {
+        for &lock_index in order {
+            let lock = self.lock_table.entry_at(lock_index);
+            loop {
+                match lock.state() {
+                    LockState::Free { version } => {
+                        if lock.try_lock(desc.core.slot, version) {
+                            desc.commit_locked.insert(lock_index, version);
+                            break;
+                        }
+                    }
+                    LockState::Held { owner } => {
+                        if owner == desc.core.slot {
+                            break;
+                        }
+                        match self.cm.resolve(&desc.core.shared, self.shared_of(owner)) {
+                            Resolution::AbortSelf => {
+                                return Err(Abort::WRITE_CONFLICT);
+                            }
+                            Resolution::AbortOther => {
+                                self.shared_of(owner).request_abort();
+                                std::hint::spin_loop();
+                            }
+                            Resolution::Wait => std::hint::spin_loop(),
+                        }
+                        if desc.core.shared.abort_requested() {
+                            return Err(Abort::REMOTE);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     fn doom(&self, desc: &mut Tl2Descriptor, abort: Abort) -> Abort {
@@ -332,7 +372,8 @@ impl TmAlgorithm for Tl2 {
             rv: 0,
             read_log: ReadLog::new(),
             write_log: WriteLog::new(),
-            commit_locked: Vec::with_capacity(16),
+            commit_locked: StripeSet::new(),
+            commit_order: Vec::with_capacity(16),
             doomed: false,
         }
     }
@@ -392,8 +433,11 @@ impl TmAlgorithm for Tl2 {
             return Err(self.doom(desc, Abort::REMOTE));
         }
         desc.core.attempt_writes += 1;
-        // Lazy acquisition: just buffer the write.
+        // Lazy acquisition: just buffer the write. The stripe set gives the
+        // commit path the distinct write-set stripes without a sort+dedup
+        // pass over the whole redo log.
         let lock_index = self.lock_table.index_of(addr);
+        desc.write_log.record_stripe(lock_index, 0);
         desc.write_log.record(addr, value, lock_index, 0);
         self.cm.on_write(&desc.core.shared, desc.write_log.len());
         Ok(())
@@ -413,40 +457,15 @@ impl TmAlgorithm for Tl2 {
 
         // Acquire every write-set stripe (commit-time locking). Write/write
         // conflicts surface only here — the "lazy" behaviour the paper
-        // dissects in Figure 6a.
-        let mut stripes: Vec<usize> = desc.write_log.iter().map(|e| e.lock_index).collect();
-        stripes.sort_unstable();
-        stripes.dedup();
-        for lock_index in stripes {
-            let lock = self.lock_table.entry_at(lock_index);
-            loop {
-                match lock.state() {
-                    LockState::Free { version } => {
-                        if lock.try_lock(desc.core.slot, version) {
-                            desc.commit_locked.push((lock_index, version));
-                            break;
-                        }
-                    }
-                    LockState::Held { owner } => {
-                        if owner == desc.core.slot {
-                            break;
-                        }
-                        match self.cm.resolve(&desc.core.shared, self.shared_of(owner)) {
-                            Resolution::AbortSelf => {
-                                return Err(self.doom(desc, Abort::WRITE_CONFLICT));
-                            }
-                            Resolution::AbortOther => {
-                                self.shared_of(owner).request_abort();
-                                std::hint::spin_loop();
-                            }
-                            Resolution::Wait => std::hint::spin_loop(),
-                        }
-                        if desc.core.shared.abort_requested() {
-                            return Err(self.doom(desc, Abort::REMOTE));
-                        }
-                    }
-                }
-            }
+        // dissects in Figure 6a. The stripes are already distinct (tracked
+        // by the write log's stripe set); only the deadlock-avoidance sort
+        // remains, on a scratch buffer reused across commits.
+        let mut order = std::mem::take(&mut desc.commit_order);
+        desc.write_log.sorted_stripe_indices(&mut order);
+        let locked = self.lock_write_set(desc, &order);
+        desc.commit_order = order;
+        if let Err(abort) = locked {
+            return Err(self.doom(desc, abort));
         }
 
         let wv = self.clock.increment_and_get();
@@ -460,8 +479,8 @@ impl TmAlgorithm for Tl2 {
         for entry in desc.write_log.iter() {
             self.heap.store(entry.addr, entry.value);
         }
-        for &(lock_index, _) in &desc.commit_locked {
-            self.lock_table.entry_at(lock_index).publish(wv);
+        for stripe in desc.commit_locked.iter() {
+            self.lock_table.entry_at(stripe.lock_index).publish(wv);
         }
         desc.commit_locked.clear();
         desc.read_log.clear();

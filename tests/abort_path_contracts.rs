@@ -1,0 +1,170 @@
+//! Abort-path contract regressions: a transaction whose *commit* fails must
+//! leave its descriptor fully reset — locks released, logs cleared, no
+//! stale doomed flag — exactly as if the attempt had aborted inside the
+//! body. `atomically` documents that `rollback` runs on every abort path,
+//! including after a failed commit; these tests pin the observable side of
+//! that contract on all four STMs.
+
+use std::sync::Arc;
+
+use stm_core::config::StmConfig;
+use stm_core::error::StmError;
+use stm_core::tm::{ThreadContext, TmAlgorithm};
+
+use rstm::Rstm;
+use swisstm::SwissTm;
+use tinystm::TinyStm;
+use tl2::Tl2;
+
+fn config() -> StmConfig {
+    StmConfig::small()
+}
+
+/// Forces a deterministic commit-time validation failure:
+///
+/// 1. the victim reads `a`,
+/// 2. a second context commits two updates to `a` (advancing the global
+///    clock past the victim's snapshot and re-versioning `a`),
+/// 3. the victim writes `b` and returns, so its commit must validate the
+///    read of `a` — which fails on every algorithm.
+///
+/// With a retry budget of 1 the driver reports the failed commit instead of
+/// retrying, and the test can inspect the aftermath.
+fn failed_commit_leaves_no_residue<A: TmAlgorithm>(stm: Arc<A>) {
+    let name = stm.name();
+    let block = stm.heap().alloc_zeroed(4).unwrap();
+    let a = block;
+    // Two words per stripe at the default grain: offset 2 lands on a
+    // different lock-table entry than `a`.
+    let b = block.offset(2);
+
+    let mut victim = ThreadContext::register(Arc::clone(&stm)).with_retry_budget(1);
+    let mut other = ThreadContext::register(Arc::clone(&stm));
+
+    let result: Result<(), StmError> = victim.atomically(|tx| {
+        let _ = tx.read(a)?;
+        // Invalidate the victim's snapshot from a second context. Two
+        // commits make sure the clock moves far enough that no algorithm
+        // can skip commit-time validation.
+        for _ in 0..2 {
+            other
+                .atomically(|tx2| {
+                    let v = tx2.read(a)?;
+                    tx2.write(a, v + 1)
+                })
+                .expect("interfering update must commit");
+        }
+        tx.write(b, 99)?;
+        Ok(())
+    });
+
+    // The only attempt must have failed at commit time.
+    assert!(
+        matches!(result, Err(StmError::RetryBudgetExhausted { attempts: 1 })),
+        "{name}: expected the commit to fail deterministically, got {result:?}"
+    );
+    assert_eq!(victim.stats().commits, 0, "{name}: commit was recorded");
+    assert_eq!(victim.stats().aborts, 1, "{name}: abort was not recorded");
+
+    // The aborted write must not have reached the heap.
+    assert_eq!(
+        stm.heap().load(b),
+        0,
+        "{name}: failed commit leaked a write"
+    );
+
+    // Every lock the failed commit touched must be free again: a *different*
+    // context (which can never bypass a leaked lock as its owner) must be
+    // able to update both stripes within a bounded number of attempts.
+    let mut probe = ThreadContext::register(Arc::clone(&stm)).with_retry_budget(64);
+    probe
+        .atomically(|tx| {
+            tx.write(a, 1000)?;
+            tx.write(b, 2000)
+        })
+        .unwrap_or_else(|e| panic!("{name}: stripes still locked after failed commit: {e:?}"));
+
+    // And the victim's descriptor must be fully reset (no stale doomed flag,
+    // cleared logs): its next transaction commits normally.
+    victim
+        .atomically(|tx| {
+            let vb = tx.read(b)?;
+            tx.write(b, vb + 1)
+        })
+        .unwrap_or_else(|e| panic!("{name}: descriptor unusable after failed commit: {e:?}"));
+    assert_eq!(stm.heap().load(b), 2001, "{name}: post-failure commit lost");
+    assert_eq!(victim.stats().commits, 1);
+}
+
+#[test]
+fn failed_commit_leaves_no_residue_on_swisstm() {
+    failed_commit_leaves_no_residue(Arc::new(SwissTm::with_config(config())));
+}
+
+#[test]
+fn failed_commit_leaves_no_residue_on_tl2() {
+    failed_commit_leaves_no_residue(Arc::new(Tl2::with_config(config())));
+}
+
+#[test]
+fn failed_commit_leaves_no_residue_on_tinystm() {
+    failed_commit_leaves_no_residue(Arc::new(TinyStm::with_config(config())));
+}
+
+#[test]
+fn failed_commit_leaves_no_residue_on_rstm() {
+    failed_commit_leaves_no_residue(Arc::new(Rstm::with_config(config())));
+}
+
+/// The multi-thread stress rerun of the money-transfer invariant on all
+/// four STMs with the reworked log structures: concurrent transfers across
+/// enough accounts to exercise large-ish read/write sets never create or
+/// destroy money, even while commit-time validation failures are frequent.
+#[test]
+fn money_transfer_stress_survives_the_log_rework() {
+    fn run<A: TmAlgorithm>(stm: Arc<A>) {
+        let name = stm.name();
+        let accounts = 32usize;
+        let base = stm.heap().alloc_zeroed(accounts).unwrap();
+        for i in 0..accounts {
+            stm.heap().store(base.offset(i), 1000);
+        }
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let stm = Arc::clone(&stm);
+                scope.spawn(move || {
+                    let mut ctx = ThreadContext::register(stm);
+                    let mut rng = stm_core::backoff::FastRng::new(t + 101);
+                    for _ in 0..400 {
+                        let from = rng.next_below(accounts as u64) as usize;
+                        let to = rng.next_below(accounts as u64) as usize;
+                        ctx.atomically(|tx| {
+                            // Audit a window of accounts (a larger read set)
+                            // before moving money between two of them.
+                            let mut window = 0;
+                            for i in 0..8 {
+                                window += tx.read(base.offset((from + i) % accounts))?;
+                            }
+                            let _ = window;
+                            let f = tx.read(base.offset(from))?;
+                            let t_bal = tx.read(base.offset(to))?;
+                            if from != to && f >= 10 {
+                                tx.write(base.offset(from), f - 10)?;
+                                tx.write(base.offset(to), t_bal + 10)?;
+                            }
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let total: u64 = (0..accounts).map(|i| stm.heap().load(base.offset(i))).sum();
+        assert_eq!(total, 32_000, "money created/destroyed on {name}");
+    }
+
+    run(Arc::new(SwissTm::with_config(config())));
+    run(Arc::new(Tl2::with_config(config())));
+    run(Arc::new(TinyStm::with_config(config())));
+    run(Arc::new(Rstm::with_config(config())));
+}
