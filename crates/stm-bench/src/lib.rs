@@ -22,6 +22,7 @@
 use std::time::Duration;
 
 use stm_harness::runner::RunOptions;
+use stm_workloads::profile::SizeProfile;
 
 /// Run options used by the Criterion benches: single-digit-millisecond data
 /// points so the full suite stays fast.
@@ -32,7 +33,7 @@ pub fn bench_options(threads: usize) -> RunOptions {
         heap_words: 1 << 21,
         lock_table_log2: 14,
         grain_shift: 1,
-        work_percent: 5,
+        profile: SizeProfile::Quick,
         seed: 0xbe7c,
     }
 }

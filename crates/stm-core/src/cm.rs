@@ -370,7 +370,8 @@ impl TwoPhase {
     }
 
     /// Creates the manager with a custom `Wn` threshold (used by the extra
-    /// `Wn` ablation bench).
+    /// `Wn` ablation bench). `wn = 0` degenerates to a fully greedy manager:
+    /// the transaction enters the second phase on its very first write.
     pub fn with_wn(wn: usize) -> Self {
         TwoPhase {
             greedy_clock: GlobalClock::new(),
@@ -409,8 +410,11 @@ impl ContentionManager for TwoPhase {
     }
 
     fn on_write(&self, me: &TxShared, writes_so_far: usize) {
-        // cm-on-write: upon the Wn-th write, enter the second phase.
-        if me.cm_ts() == CM_TS_INFINITY && writes_so_far == self.wn {
+        // cm-on-write: upon the Wn-th write, enter the second phase. `>=`
+        // rather than `==` so that `Wn = 0` means "greedy from the first
+        // write": `writes_so_far` starts at 1, so an equality test would
+        // never fire for a zero threshold.
+        if me.cm_ts() == CM_TS_INFINITY && writes_so_far >= self.wn {
             me.set_cm_ts(self.greedy_clock.increment_and_get());
         }
     }
@@ -525,6 +529,34 @@ mod tests {
             cm.resolve(reg.shared(a), reg.shared(b)),
             Resolution::AbortSelf
         );
+    }
+
+    #[test]
+    fn two_phase_wn_zero_is_greedy_from_the_first_write() {
+        let (reg, a, b) = two_txs();
+        let cm = TwoPhase::with_wn(0);
+        cm.on_start(reg.shared(a), false);
+        cm.on_start(reg.shared(b), false);
+        // The very first write promotes to the second (greedy) phase:
+        // writes_so_far starts at 1, so a zero threshold must not be able to
+        // slip past an equality comparison.
+        cm.on_write(reg.shared(a), 1);
+        assert_ne!(
+            reg.shared(a).cm_ts(),
+            CM_TS_INFINITY,
+            "wn = 0 must promote on the first write"
+        );
+        // The timestamp is drawn exactly once: later writes keep it.
+        let ts = reg.shared(a).cm_ts();
+        cm.on_write(reg.shared(a), 2);
+        assert_eq!(reg.shared(a).cm_ts(), ts);
+        // Promoted-vs-timid resolution favours the promoted transaction.
+        assert_eq!(
+            cm.resolve(reg.shared(a), reg.shared(b)),
+            Resolution::AbortOther
+        );
+        cm.on_commit(reg.shared(a));
+        assert_eq!(reg.shared(a).cm_ts(), CM_TS_INFINITY);
     }
 
     #[test]

@@ -3,22 +3,28 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment> [--full] [--threads N] [--millis M] [--work P] [--seed S]
+//! repro <experiment> [--full|--huge] [--threads N] [--millis M] [--seed S]
+//!      [--check-shapes]
 //!
 //! experiments: fig2 fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!              table1 table2 all
 //! ```
 //!
 //! Without `--full` the quick profile is used: fewer threads, shorter data
-//! points and scaled-down fixed-work benchmarks — enough to see the shape
-//! of every figure in minutes on a laptop. `--full` switches to the paper's
-//! 1–8 thread sweep.
+//! points and scaled-down datasets — enough to see the shape of every
+//! figure in minutes on a laptop. `--full` switches to the paper's
+//! 1–8 thread sweep with full-profile datasets; `--huge` uses
+//! paper-scale-and-beyond datasets for dedicated runs of single figures.
+//! `--check-shapes` additionally measures the headline figure shapes
+//! (SwissTM vs the baselines, see `stm_harness::shapes`) and fails the
+//! process if a shape is inverted.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use stm_harness::experiments;
 use stm_harness::runner::RunOptions;
+use stm_harness::shapes;
 use stm_harness::table::Table;
 
 fn print_tables(tables: &[Table]) {
@@ -55,30 +61,46 @@ fn run_experiment(name: &str, options: &RunOptions) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_args() -> Result<(String, RunOptions), String> {
+fn parse_args() -> Result<(String, RunOptions, bool), String> {
     let mut args = std::env::args().skip(1);
     let experiment = args.next().ok_or_else(usage)?;
-    let mut options = RunOptions::quick();
+    // The profile flag selects the base options; --threads/--millis/--seed
+    // override on top of it regardless of their position on the command
+    // line, so `repro all --seed 7 --full` keeps the seed.
+    let mut base: fn() -> RunOptions = RunOptions::quick;
+    let mut max_threads = None;
+    let mut point_duration = None;
+    let mut seed = None;
+    let mut check_shapes = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
-            "--full" => options = RunOptions::full(),
+            "--full" => base = RunOptions::full,
+            "--huge" => base = RunOptions::huge,
+            "--check-shapes" => check_shapes = true,
             "--threads" => {
-                options.max_threads = next_value(&mut args, "--threads")?;
+                max_threads = Some(next_value(&mut args, "--threads")?);
             }
             "--millis" => {
                 let millis: u64 = next_value(&mut args, "--millis")?;
-                options.point_duration = Duration::from_millis(millis);
-            }
-            "--work" => {
-                options.work_percent = next_value(&mut args, "--work")?;
+                point_duration = Some(Duration::from_millis(millis));
             }
             "--seed" => {
-                options.seed = next_value(&mut args, "--seed")?;
+                seed = Some(next_value(&mut args, "--seed")?);
             }
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
-    Ok((experiment, options))
+    let mut options = base();
+    if let Some(threads) = max_threads {
+        options.max_threads = threads;
+    }
+    if let Some(duration) = point_duration {
+        options.point_duration = duration;
+    }
+    if let Some(seed) = seed {
+        options.seed = seed;
+    }
+    Ok((experiment, options, check_shapes))
 }
 
 fn next_value<T: std::str::FromStr>(
@@ -93,19 +115,31 @@ fn next_value<T: std::str::FromStr>(
 
 fn usage() -> String {
     "usage: repro <fig2|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|fig12|fig13|table1|table2|all> \
-     [--full] [--threads N] [--millis M] [--work P] [--seed S]"
+     [--full|--huge] [--threads N] [--millis M] [--seed S] [--check-shapes]"
         .to_string()
 }
 
 fn main() -> ExitCode {
     match parse_args() {
-        Ok((experiment, options)) => {
+        Ok((experiment, options, check_shapes)) => {
             println!(
-                "# SwissTM reproduction harness — experiment '{}' ({} threads max, {:?}/point, {}% work)",
-                experiment, options.max_threads, options.point_duration, options.work_percent
+                "# SwissTM reproduction harness — experiment '{}' ({} threads max, {:?}/point, {} profile)",
+                experiment,
+                options.max_threads,
+                options.point_duration,
+                options.profile.label()
             );
             match run_experiment(&experiment, &options) {
-                Ok(()) => ExitCode::SUCCESS,
+                Ok(()) => {
+                    if check_shapes {
+                        let report = shapes::run_shape_checks(&options);
+                        print!("{report}");
+                        if !report.passed() {
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    ExitCode::SUCCESS
+                }
                 Err(message) => {
                     eprintln!("error: {message}");
                     ExitCode::FAILURE

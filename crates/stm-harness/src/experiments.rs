@@ -98,8 +98,8 @@ pub fn figure3(options: &RunOptions) -> Vec<Table> {
 /// Figure 4: Lee-TM execution time for the memory and mainboard inputs.
 pub fn figure4(options: &RunOptions) -> Vec<Table> {
     let boards = [
-        ("memory board", LeeConfig::memory_board()),
-        ("main board", LeeConfig::main_board()),
+        ("memory board", LeeConfig::memory_board_at(options.profile)),
+        ("main board", LeeConfig::main_board_at(options.profile)),
     ];
     let variants = [
         StmVariant::Rstm(RstmVariant::eager_invisible(), CmChoice::Default),
@@ -205,7 +205,7 @@ pub fn figure8(options: &RunOptions) -> Table {
     for threads in options.thread_counts() {
         let mut row = vec![threads.to_string()];
         for &r in &ratios {
-            let config = LeeConfig::memory_board().with_irregular_updates(r);
+            let config = LeeConfig::memory_board_at(options.profile).with_irregular_updates(r);
             let swiss = run_point(
                 StmVariant::Swiss(CmChoice::Default),
                 &Benchmark::Lee(config),
@@ -355,12 +355,11 @@ fn granularity_benchmarks(options: &RunOptions) -> Vec<Benchmark> {
     let mut benchmarks: Vec<Benchmark> =
         StampApp::all().into_iter().map(Benchmark::Stamp).collect();
     benchmarks.push(Benchmark::RbTree(RbTreeConfig::paper_default()));
-    benchmarks.push(Benchmark::Lee(LeeConfig::memory_board()));
-    benchmarks.push(Benchmark::Lee(LeeConfig::main_board()));
+    benchmarks.push(Benchmark::Lee(LeeConfig::memory_board_at(options.profile)));
+    benchmarks.push(Benchmark::Lee(LeeConfig::main_board_at(options.profile)));
     benchmarks.push(Benchmark::Bench7(WorkloadMix::read_dominated()));
     benchmarks.push(Benchmark::Bench7(WorkloadMix::read_write()));
     benchmarks.push(Benchmark::Bench7(WorkloadMix::write_dominated()));
-    let _ = options;
     benchmarks
 }
 
@@ -543,7 +542,7 @@ mod tests {
             heap_words: 1 << 20,
             lock_table_log2: 12,
             grain_shift: 1,
-            work_percent: 2,
+            profile: stm_workloads::profile::SizeProfile::Quick,
             seed: 3,
         }
     }

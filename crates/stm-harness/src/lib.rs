@@ -6,12 +6,16 @@
 //! series mirror the corresponding figure; the `repro` binary prints them.
 //!
 //! The harness is deliberately configuration-driven ([`runner::RunOptions`])
-//! so the same code produces both a quick smoke run (seconds per data
-//! point, used in CI and the Criterion benches) and a full sweep.
+//! so the same code produces a quick smoke run (seconds per data point,
+//! used in CI and the Criterion benches), the paper's full sweep, and a
+//! huge paper-scale-and-beyond profile. [`shapes`] adds machine-checkable
+//! assertions on the *shape* of the headline figures (who dominates beyond
+//! two threads), exposed through `repro --check-shapes`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod runner;
+pub mod shapes;
 pub mod table;

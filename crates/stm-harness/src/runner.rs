@@ -14,7 +14,8 @@ use stm_core::cm::{CmHandle, Greedy, Polka, Serializer, Timid, TwoPhase};
 use stm_core::config::{HeapConfig, LockTableConfig, StmConfig};
 use stm_core::tm::TmAlgorithm;
 use stm_workloads::driver::{run_workload, RunLength, RunResult, Workload};
-use stm_workloads::lee::{LeeConfig, LeeWorkload};
+use stm_workloads::lee::{LeeBoard, LeeConfig, LeeWorkload};
+use stm_workloads::profile::SizeProfile;
 use stm_workloads::rbtree::{RbTreeConfig, RbTreeWorkload};
 use stm_workloads::stamp::StampApp;
 use stm_workloads::stmbench7::{Bench7Config, Bench7Data, Bench7Workload, WorkloadMix};
@@ -122,9 +123,10 @@ pub struct RunOptions {
     pub lock_table_log2: u32,
     /// Stripe granularity override (log2 words per stripe).
     pub grain_shift: u32,
-    /// Scale factor (0–100) applied to fixed-work benchmarks (Lee, STAMP):
-    /// 100 runs the full default work amount.
-    pub work_percent: u64,
+    /// Workload size profile: every benchmark family states its dataset
+    /// geometry and fixed work amount per profile (see
+    /// [`stm_workloads::profile`]).
+    pub profile: SizeProfile,
     /// Seed for workload construction and operation streams.
     pub seed: u64,
 }
@@ -138,12 +140,13 @@ impl RunOptions {
             heap_words: 1 << 21,
             lock_table_log2: 16,
             grain_shift: 1,
-            work_percent: 10,
+            profile: SizeProfile::Quick,
             seed: 0x5715,
         }
     }
 
-    /// Full options: the paper's 1–8 thread sweep with longer data points.
+    /// Full options: the paper's 1–8 thread sweep with one-second data
+    /// points and the full-profile dataset geometry.
     pub fn full() -> Self {
         RunOptions {
             max_threads: 8,
@@ -151,7 +154,21 @@ impl RunOptions {
             heap_words: 1 << 24,
             lock_table_log2: 20,
             grain_shift: 1,
-            work_percent: 100,
+            profile: SizeProfile::Full,
+            seed: 0x5715,
+        }
+    }
+
+    /// Huge options: paper-scale-and-beyond datasets with two-second data
+    /// points, for dedicated runs of individual figures.
+    pub fn huge() -> Self {
+        RunOptions {
+            max_threads: 8,
+            point_duration: Duration::from_millis(2_000),
+            heap_words: 1 << 26,
+            lock_table_log2: 22,
+            grain_shift: 1,
+            profile: SizeProfile::Huge,
             seed: 0x5715,
         }
     }
@@ -170,11 +187,6 @@ impl RunOptions {
                 grain_shift: self.grain_shift,
             },
         }
-    }
-
-    /// Scales a default work amount by `work_percent`.
-    pub fn scale_work(&self, default_ops: u64) -> u64 {
-        (default_ops * self.work_percent / 100).max(8)
     }
 
     /// Returns a copy with a different stripe granularity.
@@ -205,10 +217,11 @@ impl Benchmark {
         match self {
             Benchmark::Bench7(mix) => format!("stmbench7-{}", mix.name),
             Benchmark::RbTree(_) => "red-black tree".into(),
-            Benchmark::Lee(config) if config.width == LeeConfig::main_board().width => {
-                "lee-main".into()
-            }
-            Benchmark::Lee(_) => "lee-memory".into(),
+            Benchmark::Lee(config) => match config.board {
+                LeeBoard::Main => "lee-main".into(),
+                LeeBoard::Memory => "lee-memory".into(),
+                LeeBoard::Test => "lee-test".into(),
+            },
             Benchmark::Stamp(app) => app.label().into(),
         }
     }
@@ -225,7 +238,11 @@ where
 {
     match benchmark {
         Benchmark::Bench7(mix) => {
-            let data = Bench7Data::build(&stm, Bench7Config::medium(), options.seed);
+            let data = Bench7Data::build(
+                &stm,
+                Bench7Config::for_profile(options.profile),
+                options.seed,
+            );
             let workload: Arc<dyn Workload<A>> = Arc::new(Bench7Workload::new(data, *mix));
             run_workload(
                 stm,
@@ -247,18 +264,17 @@ where
         }
         Benchmark::Lee(config) => {
             let workload = LeeWorkload::setup(&stm, *config, options.seed);
-            let routes = options.scale_work(config.routes as u64);
             run_workload(
                 stm,
                 workload,
                 threads,
-                RunLength::TotalOps(routes),
+                RunLength::TotalOps(config.routes as u64),
                 options.seed,
             )
         }
         Benchmark::Stamp(app) => {
-            let workload = app.build(&stm, options.seed);
-            let ops = options.scale_work(app.default_ops());
+            let workload = app.build_at(&stm, options.seed, options.profile);
+            let ops = app.ops_at(options.profile);
             run_workload(
                 stm,
                 workload,
@@ -321,7 +337,7 @@ mod tests {
             heap_words: 1 << 20,
             lock_table_log2: 12,
             grain_shift: 1,
-            work_percent: 2,
+            profile: SizeProfile::Quick,
             seed: 7,
         }
     }
@@ -369,12 +385,15 @@ mod tests {
     }
 
     #[test]
-    fn options_scale_work_and_threads() {
+    fn options_profiles_and_threads() {
         let options = tiny_options();
         assert_eq!(options.thread_counts(), vec![1, 2]);
-        assert_eq!(options.scale_work(1000), 20);
         assert_eq!(options.with_grain_shift(4).grain_shift, 4);
         assert_eq!(RunOptions::full().max_threads, 8);
         assert!(RunOptions::quick().point_duration < RunOptions::full().point_duration);
+        assert_eq!(RunOptions::quick().profile, SizeProfile::Quick);
+        assert_eq!(RunOptions::full().profile, SizeProfile::Full);
+        assert_eq!(RunOptions::huge().profile, SizeProfile::Huge);
+        assert!(RunOptions::huge().heap_words > RunOptions::full().heap_words);
     }
 }

@@ -7,6 +7,7 @@ use std::time::Duration;
 
 use stm_harness::experiments;
 use stm_harness::runner::{run_point, Benchmark, CmChoice, RunOptions, StmVariant};
+use stm_workloads::profile::SizeProfile;
 use stm_workloads::rbtree::RbTreeConfig;
 
 fn smoke_options() -> RunOptions {
@@ -16,7 +17,7 @@ fn smoke_options() -> RunOptions {
         heap_words: 1 << 20,
         lock_table_log2: 12,
         grain_shift: 1,
-        work_percent: 2,
+        profile: SizeProfile::Quick,
         seed: 0x51,
     }
 }

@@ -6,7 +6,7 @@
 //! driver supports both through [`RunLength`].
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use stm_core::backoff::FastRng;
@@ -31,6 +31,12 @@ pub trait Workload<A: TmAlgorithm>: Send + Sync {
     fn check(&self, _ctx: &mut ThreadContext<A>) -> bool {
         true
     }
+
+    /// Optional per-thread setup, called after the worker has registered its
+    /// [`ThreadContext`] but *before* the start barrier: whatever happens
+    /// here (warm-up, pinning, allocation) is excluded from the measurement
+    /// window.
+    fn on_thread_start(&self, _thread_index: usize) {}
 }
 
 /// How long a benchmark run lasts.
@@ -85,9 +91,22 @@ impl RunResult {
 
 /// Runs `workload` on `threads` threads and collects statistics.
 ///
-/// Each thread registers a [`ThreadContext`], draws a deterministic RNG
-/// seeded from `seed` and its thread index, and repeatedly calls
-/// [`Workload::execute`] until the run length is exhausted.
+/// Each thread registers a [`ThreadContext`], runs the workload's
+/// [`Workload::on_thread_start`] setup, draws a deterministic RNG seeded
+/// from `seed` and its thread index, and then blocks on a start barrier: no
+/// worker executes an operation until *every* worker has registered. The
+/// measurement window opens when the barrier releases.
+///
+/// `elapsed` is measured on the workers' own clocks for every run mode:
+/// the earliest worker's barrier release to the last worker's loop end.
+/// This is exactly the interval the counted operations span — thread
+/// creation, registration and join overhead never pollute it, and (unlike
+/// a window sampled by the main thread) it cannot be skewed by the timer
+/// thread being scheduled late on an oversubscribed machine. For
+/// [`RunLength::Duration`] runs the main thread still acts as the timer
+/// (sleep, then raise the stop flag), so `elapsed` is the requested
+/// duration plus the in-flight tail of operations that were already
+/// counted when the flag landed.
 ///
 /// # Panics
 ///
@@ -107,63 +126,123 @@ where
     assert!(threads > 0, "at least one thread is required");
     let stop = Arc::new(AtomicBool::new(false));
     let shared_ops = Arc::new(AtomicU64::new(0));
-    let started = Instant::now();
+    // Workers + the main (timer) thread all meet at the start barrier.
+    let barrier = Arc::new(Barrier::new(threads + 1));
 
-    let per_thread: Vec<(TxStats, u64)> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for thread_index in 0..threads {
-            let stm = Arc::clone(&stm);
-            let workload = Arc::clone(&workload);
-            let stop = Arc::clone(&stop);
-            let shared_ops = Arc::clone(&shared_ops);
-            handles.push(scope.spawn(move || {
-                let mut ctx = ThreadContext::register(stm);
-                let mut rng =
-                    FastRng::new(seed ^ (thread_index as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15));
-                let mut executed = 0u64;
-                match length {
-                    RunLength::OpsPerThread(ops) => {
-                        for op_index in 0..ops {
+    /// Guarantees the barrier is reached even if per-thread setup panics:
+    /// the main thread is parked on the barrier, and a missing participant
+    /// would otherwise turn the panic into a deadlock instead of a
+    /// propagated join error.
+    struct BarrierGuard {
+        barrier: Arc<Barrier>,
+        armed: bool,
+    }
+
+    impl BarrierGuard {
+        fn wait(mut self) {
+            self.armed = false;
+            self.barrier.wait();
+        }
+    }
+
+    impl Drop for BarrierGuard {
+        fn drop(&mut self) {
+            if self.armed {
+                self.barrier.wait();
+            }
+        }
+    }
+
+    let (per_thread, elapsed): (Vec<(TxStats, u64, Instant, Instant)>, Duration) =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for thread_index in 0..threads {
+                let stm = Arc::clone(&stm);
+                let workload = Arc::clone(&workload);
+                let stop = Arc::clone(&stop);
+                let shared_ops = Arc::clone(&shared_ops);
+                let barrier = Arc::clone(&barrier);
+                handles.push(scope.spawn(move || {
+                    let release = BarrierGuard {
+                        barrier: Arc::clone(&barrier),
+                        armed: true,
+                    };
+                    let mut ctx = ThreadContext::register(stm);
+                    workload.on_thread_start(thread_index);
+                    let mut rng = FastRng::new(
+                        seed ^ (thread_index as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15),
+                    );
+                    release.wait();
+                    // Each worker samples its own window edges: on an
+                    // oversubscribed machine the workers can run (or a
+                    // small fixed-work run even finish) before the main
+                    // thread is scheduled again, so the main thread's
+                    // clock cannot bound the window the counted
+                    // operations actually span.
+                    let started_at = Instant::now();
+                    let mut executed = 0u64;
+                    match length {
+                        RunLength::OpsPerThread(ops) => {
+                            for op_index in 0..ops {
+                                workload.execute(&mut ctx, &mut rng, op_index);
+                                executed += 1;
+                            }
+                        }
+                        RunLength::Duration(_) => {
+                            let mut op_index = 0u64;
+                            while !stop.load(Ordering::Relaxed) {
+                                workload.execute(&mut ctx, &mut rng, op_index);
+                                executed += 1;
+                                op_index += 1;
+                            }
+                        }
+                        RunLength::TotalOps(total) => loop {
+                            let op_index = shared_ops.fetch_add(1, Ordering::Relaxed);
+                            if op_index >= total {
+                                break;
+                            }
                             workload.execute(&mut ctx, &mut rng, op_index);
                             executed += 1;
-                        }
+                        },
                     }
-                    RunLength::Duration(_) => {
-                        let mut op_index = 0u64;
-                        while !stop.load(Ordering::Relaxed) {
-                            workload.execute(&mut ctx, &mut rng, op_index);
-                            executed += 1;
-                            op_index += 1;
-                        }
-                    }
-                    RunLength::TotalOps(total) => loop {
-                        let op_index = shared_ops.fetch_add(1, Ordering::Relaxed);
-                        if op_index >= total {
-                            break;
-                        }
-                        workload.execute(&mut ctx, &mut rng, op_index);
-                        executed += 1;
-                    },
-                }
-                (ctx.take_stats(), executed)
-            }));
-        }
+                    let finished_at = Instant::now();
+                    (ctx.take_stats(), executed, started_at, finished_at)
+                }));
+            }
 
-        if let RunLength::Duration(duration) = length {
-            // The main thread acts as the timer.
-            std::thread::sleep(duration);
-            stop.store(true, Ordering::Relaxed);
-        }
+            // Release the workers; the measurement window opens here.
+            barrier.wait();
+            if let RunLength::Duration(duration) = length {
+                // The main thread is only the timer; the window itself is
+                // measured by the workers' clocks below.
+                std::thread::sleep(duration);
+                stop.store(true, Ordering::Relaxed);
+            }
 
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("benchmark worker thread panicked"))
-            .collect()
-    });
+            let per_thread: Vec<(TxStats, u64, Instant, Instant)> = handles
+                .into_iter()
+                .map(|h| h.join().expect("benchmark worker thread panicked"))
+                .collect();
+            // The window spans the earliest worker's barrier release to the
+            // last worker's loop end — the exact interval the counted
+            // operations executed in.
+            let first_start = per_thread
+                .iter()
+                .map(|&(_, _, started_at, _)| started_at)
+                .min();
+            let last_finish = per_thread
+                .iter()
+                .map(|&(_, _, _, finished_at)| finished_at)
+                .max();
+            let elapsed = match (first_start, last_finish) {
+                (Some(start), Some(finish)) => finish.saturating_duration_since(start),
+                _ => Duration::ZERO,
+            };
+            (per_thread, elapsed)
+        });
 
-    let elapsed = started.elapsed();
-    let operations = per_thread.iter().map(|(_, ops)| ops).sum();
-    let stats = StatsAggregate::collect(per_thread.iter().map(|(s, _)| s), elapsed);
+    let operations = per_thread.iter().map(|(_, ops, _, _)| ops).sum();
+    let stats = StatsAggregate::collect(per_thread.iter().map(|(s, _, _, _)| s), elapsed);
 
     // Post-run consistency check on a fresh context.
     let mut checker = ThreadContext::register(stm);
@@ -265,5 +344,197 @@ mod tests {
         assert!(result.operations > 0);
         assert!(result.throughput() > 0.0);
         assert!(result.elapsed >= Duration::from_millis(50));
+    }
+
+    /// A counter workload whose per-thread setup is artificially slow: the
+    /// regression stand-in for expensive thread registration. The measured
+    /// window must not include it.
+    struct SlowStartWorkload {
+        inner: CounterWorkload,
+        startup_delay: Duration,
+        registered: std::sync::atomic::AtomicUsize,
+        threads: usize,
+        saw_unregistered_peer: AtomicBool,
+    }
+
+    impl Workload<NaiveGlobalLockTm> for SlowStartWorkload {
+        fn execute(&self, ctx: &mut ThreadContext<NaiveGlobalLockTm>, rng: &mut FastRng, op: u64) {
+            if self.registered.load(Ordering::SeqCst) != self.threads {
+                self.saw_unregistered_peer.store(true, Ordering::SeqCst);
+            }
+            self.inner.execute(ctx, rng, op);
+        }
+
+        fn name(&self) -> String {
+            "slow-start counter".into()
+        }
+
+        fn on_thread_start(&self, thread_index: usize) {
+            // Stagger the delays so late threads register visibly later, as
+            // a slow spawn tail would.
+            std::thread::sleep(self.startup_delay * (thread_index as u32));
+            self.registered.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn slow_start_setup(
+        threads: usize,
+        startup_delay: Duration,
+    ) -> (Arc<NaiveGlobalLockTm>, Arc<SlowStartWorkload>) {
+        let stm = Arc::new(NaiveGlobalLockTm::new(HeapConfig::small()));
+        let addr = stm.heap().alloc_zeroed(1).unwrap();
+        let workload = SlowStartWorkload {
+            inner: CounterWorkload { addr },
+            startup_delay,
+            registered: std::sync::atomic::AtomicUsize::new(0),
+            threads,
+            saw_unregistered_peer: AtomicBool::new(false),
+        };
+        (stm, Arc::new(workload))
+    }
+
+    /// Regression test for the measurement-window bug: `elapsed` used to
+    /// span spawn-to-join, so slow per-thread start-up (registration) was
+    /// charged to the measured interval. With four threads staggering their
+    /// start-up by 40 ms each (120 ms for the last), the old measurement
+    /// reported ≥ 170 ms for a 50 ms point; the post-barrier window stays
+    /// within a tight tolerance of the requested duration.
+    #[test]
+    fn duration_elapsed_excludes_thread_startup_time() {
+        let duration = Duration::from_millis(50);
+        let (stm, workload) = slow_start_setup(4, Duration::from_millis(40));
+        let result = run_workload(
+            stm,
+            Arc::clone(&workload),
+            4,
+            RunLength::Duration(duration),
+            5,
+        );
+        assert!(
+            result.elapsed >= duration - Duration::from_millis(25),
+            "elapsed {:?}",
+            result.elapsed
+        );
+        assert!(
+            result.elapsed < duration + Duration::from_millis(100),
+            "elapsed {:?} should stay close to the requested {:?} window \
+             even though thread start-up took 120 ms",
+            result.elapsed,
+            duration
+        );
+        // The stats aggregate must use the same measured window.
+        assert_eq!(result.stats.elapsed, result.elapsed);
+    }
+
+    /// Same regression with many threads: sixteen workers whose staggered
+    /// start-up tail (10 ms × 15 = 150 ms) dwarfs the 50 ms point. The old
+    /// spawn-to-join measurement grew with the thread count; the
+    /// barrier-to-stop window must not.
+    #[test]
+    fn duration_elapsed_is_tight_with_many_threads() {
+        let duration = Duration::from_millis(50);
+        let (stm, workload) = slow_start_setup(16, Duration::from_millis(10));
+        let result = run_workload(
+            stm,
+            Arc::clone(&workload),
+            16,
+            RunLength::Duration(duration),
+            9,
+        );
+        // The window is measured on the workers' clocks, so scheduling on a
+        // loaded box can shift it a little either way relative to the timer
+        // thread's sleep; the regression being pinned is the 150 ms
+        // start-up tail leaking in, which would push elapsed past 200 ms.
+        assert!(
+            result.elapsed >= duration - Duration::from_millis(25),
+            "elapsed {:?}",
+            result.elapsed
+        );
+        assert!(
+            result.elapsed < duration + Duration::from_millis(100),
+            "elapsed {:?} must not grow with the 150 ms start-up tail of 16 \
+             threads",
+            result.elapsed
+        );
+    }
+
+    /// A worker panicking during per-thread setup (registration or
+    /// `on_thread_start`) must propagate as a join panic — the barrier
+    /// guard releases the other participants, so the panic cannot turn
+    /// into a deadlock of the start barrier.
+    #[test]
+    #[should_panic(expected = "benchmark worker thread panicked")]
+    fn worker_panic_during_setup_propagates_instead_of_deadlocking() {
+        struct PanickyStart {
+            inner: CounterWorkload,
+        }
+
+        impl Workload<NaiveGlobalLockTm> for PanickyStart {
+            fn execute(
+                &self,
+                ctx: &mut ThreadContext<NaiveGlobalLockTm>,
+                rng: &mut FastRng,
+                op: u64,
+            ) {
+                self.inner.execute(ctx, rng, op);
+            }
+
+            fn name(&self) -> String {
+                "panicky-start counter".into()
+            }
+
+            fn on_thread_start(&self, thread_index: usize) {
+                if thread_index == 1 {
+                    panic!("per-thread setup failed");
+                }
+            }
+        }
+
+        let stm = Arc::new(NaiveGlobalLockTm::new(HeapConfig::small()));
+        let addr = stm.heap().alloc_zeroed(1).unwrap();
+        let workload = Arc::new(PanickyStart {
+            inner: CounterWorkload { addr },
+        });
+        run_workload(stm, workload, 2, RunLength::OpsPerThread(4), 1);
+    }
+
+    /// The start barrier: no worker may execute an operation until every
+    /// worker has registered. Without the barrier, thread 0 runs alone for
+    /// the whole (staggered, 120 ms) spawn tail and trips the flag.
+    #[test]
+    fn no_worker_executes_before_all_threads_registered() {
+        let (stm, workload) = slow_start_setup(4, Duration::from_millis(40));
+        let result = run_workload(
+            stm,
+            Arc::clone(&workload),
+            4,
+            RunLength::OpsPerThread(200),
+            5,
+        );
+        assert_eq!(result.operations, 800);
+        assert!(
+            !workload.saw_unregistered_peer.load(Ordering::SeqCst),
+            "a worker executed operations before all threads were registered"
+        );
+    }
+
+    /// Fixed-work runs measure from barrier release to the last worker's
+    /// loop end, so the staggered start-up cannot inflate execution time.
+    #[test]
+    fn ops_run_elapsed_excludes_thread_startup_time() {
+        let (stm, workload) = slow_start_setup(3, Duration::from_millis(50));
+        let result = run_workload(stm, workload, 3, RunLength::TotalOps(60), 5);
+        assert_eq!(result.operations, 60);
+        // The window is measured by the workers' own clocks, so it can
+        // never collapse to zero (which would blow up ops/s ratios) even if
+        // the run outpaces the main thread's scheduling.
+        assert!(result.elapsed > Duration::ZERO);
+        assert!(result.ops_per_second() > 0.0);
+        assert!(
+            result.elapsed < Duration::from_millis(100),
+            "60 trivial counter increments cannot take {:?}; the 100 ms \
+             start-up tail leaked into the execution-time window",
+            result.elapsed
+        );
     }
 }

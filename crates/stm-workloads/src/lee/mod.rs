@@ -26,10 +26,25 @@ use stm_core::tm::{ThreadContext, TmAlgorithm, Tx};
 use stm_core::word::{Addr, Word};
 
 use crate::driver::Workload;
+use crate::profile::SizeProfile;
+
+/// Which of the two benchmark inputs a board stands in for.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum LeeBoard {
+    /// The dense "memory" circuit board with short connections.
+    #[default]
+    Memory,
+    /// The larger "mainboard" input with longer connections.
+    Main,
+    /// Ad-hoc boards used by unit tests.
+    Test,
+}
 
 /// Configuration of the router benchmark.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LeeConfig {
+    /// Which benchmark input this board stands in for (used for labels).
+    pub board: LeeBoard,
     /// Grid width in cells.
     pub width: usize,
     /// Grid height in cells.
@@ -45,26 +60,38 @@ pub struct LeeConfig {
 }
 
 impl LeeConfig {
-    /// Stand-in for the "memory" circuit board: a dense board with short
-    /// connections.
+    /// Stand-in for the "memory" circuit board at the quick profile: a
+    /// dense board with short connections.
     pub fn memory_board() -> Self {
+        LeeConfig::memory_board_at(SizeProfile::Quick)
+    }
+
+    /// The "memory" board at the given size profile.
+    pub fn memory_board_at(profile: SizeProfile) -> Self {
         LeeConfig {
-            width: 64,
-            height: 64,
-            routes: 160,
-            max_route_length: 24,
+            board: LeeBoard::Memory,
+            width: profile.pick(64, 128, 256),
+            height: profile.pick(64, 128, 256),
+            routes: profile.pick(160, 384, 1024),
+            max_route_length: profile.pick(24, 32, 48),
             irregular_update_percent: 0,
         }
     }
 
-    /// Stand-in for the "mainboard" input: a larger board with longer
-    /// connections.
+    /// Stand-in for the "mainboard" input at the quick profile: a larger
+    /// board with longer connections.
     pub fn main_board() -> Self {
+        LeeConfig::main_board_at(SizeProfile::Quick)
+    }
+
+    /// The "mainboard" input at the given size profile.
+    pub fn main_board_at(profile: SizeProfile) -> Self {
         LeeConfig {
-            width: 96,
-            height: 96,
-            routes: 220,
-            max_route_length: 48,
+            board: LeeBoard::Main,
+            width: profile.pick(96, 192, 384),
+            height: profile.pick(96, 192, 384),
+            routes: profile.pick(220, 512, 1536),
+            max_route_length: profile.pick(48, 64, 96),
             irregular_update_percent: 0,
         }
     }
@@ -72,6 +99,7 @@ impl LeeConfig {
     /// A tiny board for unit tests.
     pub fn tiny() -> Self {
         LeeConfig {
+            board: LeeBoard::Test,
             width: 16,
             height: 16,
             routes: 24,
@@ -344,6 +372,21 @@ mod tests {
             heap: HeapConfig::with_words(1 << 18),
             lock_table: LockTableConfig::small(),
         }
+    }
+
+    #[test]
+    fn boards_scale_with_the_profile() {
+        for board_at in [LeeConfig::memory_board_at, LeeConfig::main_board_at] {
+            let quick = board_at(SizeProfile::Quick);
+            let full = board_at(SizeProfile::Full);
+            let huge = board_at(SizeProfile::Huge);
+            assert!(quick.cells() < full.cells() && full.cells() < huge.cells());
+            assert!(quick.routes < full.routes && full.routes < huge.routes);
+            assert_eq!(quick.board, full.board);
+        }
+        assert_eq!(LeeConfig::memory_board().board, LeeBoard::Memory);
+        assert_eq!(LeeConfig::main_board().board, LeeBoard::Main);
+        assert_eq!(LeeConfig::tiny().board, LeeBoard::Test);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! * [`structures`] — the transactional data structures (red-black tree,
 //!   sorted list, hash map, queue) the workloads are built from,
 //! * [`driver`] — the multi-threaded measurement driver shared by the
-//!   experiment harness and the Criterion benches.
+//!   experiment harness and the Criterion benches,
+//! * [`profile`] — the `quick` / `full` / `huge` size profiles every
+//!   workload family states its dataset geometry for.
 //!
 //! All workloads are deterministic given a seed, so experiment tables are
 //! reproducible run to run (modulo thread interleaving).
@@ -26,9 +28,11 @@
 
 pub mod driver;
 pub mod lee;
+pub mod profile;
 pub mod rbtree;
 pub mod stamp;
 pub mod stmbench7;
 pub mod structures;
 
 pub use driver::{run_workload, RunLength, RunResult, Workload};
+pub use profile::SizeProfile;

@@ -1,0 +1,65 @@
+//! Workload size profiles.
+//!
+//! Every benchmark family states its geometry (dataset dimensions, fixed
+//! work amounts) explicitly per profile instead of scaling a single default
+//! by a flat percentage. Three profiles exist:
+//!
+//! * [`SizeProfile::Quick`] — small datasets and short fixed-work runs:
+//!   every figure's shape is visible in minutes on a laptop, and CI smoke
+//!   tests stay cheap.
+//! * [`SizeProfile::Full`] — the paper-style sweep geometry used by
+//!   `repro --full`: datasets large enough that transaction length
+//!   distributions and conflict patterns match the paper's descriptions,
+//!   while a complete `repro all --full` still finishes end-to-end on one
+//!   machine.
+//! * [`SizeProfile::Huge`] — paper-scale-and-beyond datasets for dedicated
+//!   runs of individual figures (`repro --huge`); a full sweep at this size
+//!   is an overnight job.
+
+/// How large the workload datasets and fixed work amounts are.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SizeProfile {
+    /// Scaled-down smoke geometry (CI, laptops).
+    #[default]
+    Quick,
+    /// The paper-style sweep geometry.
+    Full,
+    /// Paper-scale-and-beyond datasets for dedicated runs.
+    Huge,
+}
+
+impl SizeProfile {
+    /// Label used in table headers and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SizeProfile::Quick => "quick",
+            SizeProfile::Full => "full",
+            SizeProfile::Huge => "huge",
+        }
+    }
+
+    /// Picks one of three values by profile — the common pattern of the
+    /// per-workload size tables.
+    pub fn pick<T>(self, quick: T, full: T, huge: T) -> T {
+        match self {
+            SizeProfile::Quick => quick,
+            SizeProfile::Full => full,
+            SizeProfile::Huge => huge,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_pick_follow_the_profile() {
+        assert_eq!(SizeProfile::Quick.label(), "quick");
+        assert_eq!(SizeProfile::Full.label(), "full");
+        assert_eq!(SizeProfile::Huge.label(), "huge");
+        assert_eq!(SizeProfile::default(), SizeProfile::Quick);
+        assert_eq!(SizeProfile::Full.pick(1, 2, 3), 2);
+        assert_eq!(SizeProfile::Huge.pick("a", "b", "c"), "c");
+    }
+}

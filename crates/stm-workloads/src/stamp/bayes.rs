@@ -34,14 +34,23 @@ pub struct BayesConfig {
     pub max_parents: u32,
 }
 
+impl BayesConfig {
+    /// The dataset geometry for a size profile. Quick matches the historic
+    /// default; full and huge grow the training data and per-evaluation
+    /// read sets (the variable count is capped at 64 by the bitmap layout).
+    pub fn for_profile(profile: crate::profile::SizeProfile) -> Self {
+        BayesConfig {
+            variables: profile.pick(48, 64, 64),
+            data_words_per_eval: profile.pick(96, 192, 384),
+            data_words: profile.pick(4096, 16_384, 65_536),
+            max_parents: profile.pick(4, 4, 6),
+        }
+    }
+}
+
 impl Default for BayesConfig {
     fn default() -> Self {
-        BayesConfig {
-            variables: 48,
-            data_words_per_eval: 96,
-            data_words: 4096,
-            max_parents: 4,
-        }
+        BayesConfig::for_profile(crate::profile::SizeProfile::Quick)
     }
 }
 

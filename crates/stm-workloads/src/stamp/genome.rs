@@ -28,13 +28,21 @@ pub struct GenomeConfig {
     pub buckets: usize,
 }
 
+impl GenomeConfig {
+    /// The dataset geometry for a size profile (quick matches the historic
+    /// default).
+    pub fn for_profile(profile: crate::profile::SizeProfile) -> Self {
+        GenomeConfig {
+            unique_segments: profile.pick(2048, 8192, 32_768),
+            duplication: profile.pick(4, 4, 8),
+            buckets: profile.pick(1024, 4096, 16_384),
+        }
+    }
+}
+
 impl Default for GenomeConfig {
     fn default() -> Self {
-        GenomeConfig {
-            unique_segments: 2048,
-            duplication: 4,
-            buckets: 1024,
-        }
+        GenomeConfig::for_profile(crate::profile::SizeProfile::Quick)
     }
 }
 

@@ -27,13 +27,21 @@ pub struct IntruderConfig {
     pub buckets: usize,
 }
 
+impl IntruderConfig {
+    /// The dataset geometry for a size profile (quick matches the historic
+    /// default).
+    pub fn for_profile(profile: crate::profile::SizeProfile) -> Self {
+        IntruderConfig {
+            flows: profile.pick(1024, 4096, 16_384),
+            fragments_per_flow: profile.pick(4, 8, 8),
+            buckets: profile.pick(512, 2048, 8192),
+        }
+    }
+}
+
 impl Default for IntruderConfig {
     fn default() -> Self {
-        IntruderConfig {
-            flows: 1024,
-            fragments_per_flow: 4,
-            buckets: 512,
-        }
+        IntruderConfig::for_profile(crate::profile::SizeProfile::Quick)
     }
 }
 

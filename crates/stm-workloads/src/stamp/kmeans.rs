@@ -28,19 +28,30 @@ pub struct KmeansConfig {
 }
 
 impl KmeansConfig {
-    /// High-contention variant (few clusters).
+    /// High-contention variant (few clusters) at the quick profile.
     pub fn high_contention() -> Self {
+        KmeansConfig::high_contention_at(crate::profile::SizeProfile::Quick)
+    }
+
+    /// High-contention variant at the given size profile: the cluster count
+    /// (the contention knob) stays small while the point set grows.
+    pub fn high_contention_at(profile: crate::profile::SizeProfile) -> Self {
         KmeansConfig {
-            points: 2048,
-            clusters: 8,
+            points: profile.pick(2048, 16_384, 65_536),
+            clusters: profile.pick(8, 16, 16),
         }
     }
 
-    /// Low-contention variant (many clusters).
+    /// Low-contention variant (many clusters) at the quick profile.
     pub fn low_contention() -> Self {
+        KmeansConfig::low_contention_at(crate::profile::SizeProfile::Quick)
+    }
+
+    /// Low-contention variant at the given size profile.
+    pub fn low_contention_at(profile: crate::profile::SizeProfile) -> Self {
         KmeansConfig {
-            points: 2048,
-            clusters: 48,
+            points: profile.pick(2048, 16_384, 65_536),
+            clusters: profile.pick(48, 64, 160),
         }
     }
 }

@@ -12,7 +12,7 @@ use stm_core::backoff::FastRng;
 use stm_core::tm::{ThreadContext, TmAlgorithm};
 
 use crate::driver::Workload;
-use crate::lee::{LeeConfig, LeeWorkload};
+use crate::lee::{LeeBoard, LeeConfig, LeeWorkload};
 
 /// Configuration of the labyrinth kernel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -23,12 +23,20 @@ pub struct LabyrinthConfig {
     pub paths: usize,
 }
 
+impl LabyrinthConfig {
+    /// The maze geometry for a size profile (quick matches the historic
+    /// default).
+    pub fn for_profile(profile: crate::profile::SizeProfile) -> Self {
+        LabyrinthConfig {
+            side: profile.pick(48, 96, 192),
+            paths: profile.pick(96, 192, 384),
+        }
+    }
+}
+
 impl Default for LabyrinthConfig {
     fn default() -> Self {
-        LabyrinthConfig {
-            side: 48,
-            paths: 96,
-        }
+        LabyrinthConfig::for_profile(crate::profile::SizeProfile::Quick)
     }
 }
 
@@ -47,6 +55,7 @@ impl LabyrinthWorkload {
     /// Panics if the heap cannot hold the maze.
     pub fn setup<A: TmAlgorithm>(stm: &Arc<A>, config: LabyrinthConfig, seed: u64) -> Arc<Self> {
         let lee_config = LeeConfig {
+            board: LeeBoard::Test,
             width: config.side,
             height: config.side,
             routes: config.paths,

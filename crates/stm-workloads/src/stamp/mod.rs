@@ -34,6 +34,7 @@ use std::sync::Arc;
 use stm_core::tm::TmAlgorithm;
 
 use crate::driver::Workload;
+use crate::profile::SizeProfile;
 
 /// The ten STAMP workloads of the paper's Figure 3.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -93,10 +94,11 @@ impl StampApp {
         }
     }
 
-    /// Number of operations that constitute one "run" of this workload in
-    /// the harness (scaled so every app finishes in a comparable time).
-    pub fn default_ops(self) -> u64 {
-        match self {
+    /// Number of fixed-work operations that constitute one "run" of this
+    /// workload at the given size profile (scaled so every app finishes in
+    /// a comparable time within a profile).
+    pub fn ops_at(self, profile: SizeProfile) -> u64 {
+        let full = match self {
             StampApp::Bayes => 400,
             StampApp::Genome => 4_000,
             StampApp::Intruder => 4_000,
@@ -105,49 +107,72 @@ impl StampApp {
             StampApp::Ssca2 => 8_000,
             StampApp::VacationHigh | StampApp::VacationLow => 2_000,
             StampApp::Yada => 2_000,
-        }
+        };
+        profile.pick((full / 10).max(8), full, full * 4)
     }
 
-    /// Builds the workload for this app on the given STM instance.
+    /// Builds the workload for this app on the given STM instance with the
+    /// quick-profile dataset (pair with [`StampApp::ops_at`] at
+    /// [`SizeProfile::Quick`]; use [`StampApp::build_at`] to pick another
+    /// profile).
+    pub fn build<A: TmAlgorithm>(self, stm: &Arc<A>, seed: u64) -> Arc<dyn Workload<A>> {
+        self.build_at(stm, seed, SizeProfile::Quick)
+    }
+
+    /// Builds the workload for this app with the dataset geometry of the
+    /// given size profile.
     ///
     /// The returned object is ready to be passed to
     /// [`crate::driver::run_workload`].
-    pub fn build<A: TmAlgorithm>(self, stm: &Arc<A>, seed: u64) -> Arc<dyn Workload<A>> {
+    pub fn build_at<A: TmAlgorithm>(
+        self,
+        stm: &Arc<A>,
+        seed: u64,
+        profile: SizeProfile,
+    ) -> Arc<dyn Workload<A>> {
         match self {
             StampApp::Bayes => {
-                bayes::BayesWorkload::setup(stm, bayes::BayesConfig::default(), seed)
+                bayes::BayesWorkload::setup(stm, bayes::BayesConfig::for_profile(profile), seed)
             }
             StampApp::Genome => {
-                genome::GenomeWorkload::setup(stm, genome::GenomeConfig::default(), seed)
+                genome::GenomeWorkload::setup(stm, genome::GenomeConfig::for_profile(profile), seed)
             }
-            StampApp::Intruder => {
-                intruder::IntruderWorkload::setup(stm, intruder::IntruderConfig::default(), seed)
-            }
-            StampApp::KmeansHigh => {
-                kmeans::KmeansWorkload::setup(stm, kmeans::KmeansConfig::high_contention(), seed)
-            }
-            StampApp::KmeansLow => {
-                kmeans::KmeansWorkload::setup(stm, kmeans::KmeansConfig::low_contention(), seed)
-            }
+            StampApp::Intruder => intruder::IntruderWorkload::setup(
+                stm,
+                intruder::IntruderConfig::for_profile(profile),
+                seed,
+            ),
+            StampApp::KmeansHigh => kmeans::KmeansWorkload::setup(
+                stm,
+                kmeans::KmeansConfig::high_contention_at(profile),
+                seed,
+            ),
+            StampApp::KmeansLow => kmeans::KmeansWorkload::setup(
+                stm,
+                kmeans::KmeansConfig::low_contention_at(profile),
+                seed,
+            ),
             StampApp::Labyrinth => labyrinth::LabyrinthWorkload::setup(
                 stm,
-                labyrinth::LabyrinthConfig::default(),
+                labyrinth::LabyrinthConfig::for_profile(profile),
                 seed,
             ),
             StampApp::Ssca2 => {
-                ssca2::Ssca2Workload::setup(stm, ssca2::Ssca2Config::default(), seed)
+                ssca2::Ssca2Workload::setup(stm, ssca2::Ssca2Config::for_profile(profile), seed)
             }
             StampApp::VacationHigh => vacation::VacationWorkload::setup(
                 stm,
-                vacation::VacationConfig::high_contention(),
+                vacation::VacationConfig::high_contention_at(profile),
                 seed,
             ),
             StampApp::VacationLow => vacation::VacationWorkload::setup(
                 stm,
-                vacation::VacationConfig::low_contention(),
+                vacation::VacationConfig::low_contention_at(profile),
                 seed,
             ),
-            StampApp::Yada => yada::YadaWorkload::setup(stm, yada::YadaConfig::default(), seed),
+            StampApp::Yada => {
+                yada::YadaWorkload::setup(stm, yada::YadaConfig::for_profile(profile), seed)
+            }
         }
     }
 }
@@ -175,6 +200,17 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), 10);
+    }
+
+    #[test]
+    fn ops_scale_with_the_profile() {
+        for app in StampApp::all() {
+            assert!(app.ops_at(SizeProfile::Quick) < app.ops_at(SizeProfile::Full));
+            assert!(app.ops_at(SizeProfile::Full) < app.ops_at(SizeProfile::Huge));
+        }
+        assert_eq!(StampApp::Genome.ops_at(SizeProfile::Quick), 400);
+        assert_eq!(StampApp::Labyrinth.ops_at(SizeProfile::Quick), 9);
+        assert_eq!(StampApp::Genome.ops_at(SizeProfile::Full), 4_000);
     }
 
     #[test]

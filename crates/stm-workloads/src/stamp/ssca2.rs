@@ -23,12 +23,20 @@ pub struct Ssca2Config {
     pub max_degree: usize,
 }
 
+impl Ssca2Config {
+    /// The graph geometry for a size profile (quick matches the historic
+    /// default).
+    pub fn for_profile(profile: crate::profile::SizeProfile) -> Self {
+        Ssca2Config {
+            nodes: profile.pick(4096, 16_384, 65_536),
+            max_degree: profile.pick(16, 16, 32),
+        }
+    }
+}
+
 impl Default for Ssca2Config {
     fn default() -> Self {
-        Ssca2Config {
-            nodes: 4096,
-            max_degree: 16,
-        }
+        Ssca2Config::for_profile(crate::profile::SizeProfile::Quick)
     }
 }
 

@@ -34,22 +34,33 @@ pub struct VacationConfig {
 
 impl VacationConfig {
     /// STAMP's high-contention configuration (narrow query range, many
-    /// queries per transaction).
+    /// queries per transaction) at the quick profile.
     pub fn high_contention() -> Self {
+        VacationConfig::high_contention_at(crate::profile::SizeProfile::Quick)
+    }
+
+    /// The high-contention configuration at the given size profile: the
+    /// tables grow while the query range stays narrow.
+    pub fn high_contention_at(profile: crate::profile::SizeProfile) -> Self {
         VacationConfig {
-            relations: 1024,
-            queries_per_tx: 8,
+            relations: profile.pick(1024, 4096, 16_384),
+            queries_per_tx: profile.pick(8, 8, 16),
             query_range_percent: 10,
             reservation_percent: 50,
         }
     }
 
     /// STAMP's low-contention configuration (wide query range, fewer
-    /// queries).
+    /// queries) at the quick profile.
     pub fn low_contention() -> Self {
+        VacationConfig::low_contention_at(crate::profile::SizeProfile::Quick)
+    }
+
+    /// The low-contention configuration at the given size profile.
+    pub fn low_contention_at(profile: crate::profile::SizeProfile) -> Self {
         VacationConfig {
-            relations: 1024,
-            queries_per_tx: 4,
+            relations: profile.pick(1024, 4096, 16_384),
+            queries_per_tx: profile.pick(4, 4, 8),
             query_range_percent: 90,
             reservation_percent: 90,
         }

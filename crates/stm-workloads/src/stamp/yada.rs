@@ -32,13 +32,21 @@ pub struct YadaConfig {
     pub initial_bad_percent: u64,
 }
 
-impl Default for YadaConfig {
-    fn default() -> Self {
+impl YadaConfig {
+    /// The mesh geometry for a size profile (quick matches the historic
+    /// default).
+    pub fn for_profile(profile: crate::profile::SizeProfile) -> Self {
         YadaConfig {
-            elements: 4096,
+            elements: profile.pick(4096, 16_384, 65_536),
             neighbours: 4,
             initial_bad_percent: 30,
         }
+    }
+}
+
+impl Default for YadaConfig {
+    fn default() -> Self {
+        YadaConfig::for_profile(crate::profile::SizeProfile::Quick)
     }
 }
 

@@ -102,9 +102,9 @@ pub struct Bench7Config {
 }
 
 impl Bench7Config {
-    /// The default used by the experiment harness: large enough to produce
-    /// the paper's short/long transaction mix, small enough to build in a
-    /// fraction of a second.
+    /// The quick-profile structure: large enough to produce the paper's
+    /// short/long transaction mix, small enough to build in a fraction of a
+    /// second.
     pub fn medium() -> Self {
         Bench7Config {
             assembly_levels: 4,
@@ -115,6 +115,45 @@ impl Bench7Config {
             document_words: 16,
             manual_words: 256,
         }
+    }
+
+    /// The full-profile structure used by `repro --full`: an object graph
+    /// an order of magnitude larger than [`Bench7Config::medium`], so long
+    /// traversals touch tens of thousands of parts as in the paper's setup.
+    pub fn full() -> Self {
+        Bench7Config {
+            assembly_levels: 5,
+            assembly_fanout: 3,
+            composite_pool: 128,
+            parts_per_composite: 64,
+            connections_per_part: 3,
+            document_words: 32,
+            manual_words: 2048,
+        }
+    }
+
+    /// The huge-profile structure: STMBench7's published dimensions (500
+    /// composite parts of 200 atomic parts each, a seven-level assembly
+    /// hierarchy) for dedicated paper-scale runs.
+    pub fn huge() -> Self {
+        Bench7Config {
+            assembly_levels: 7,
+            assembly_fanout: 3,
+            composite_pool: 500,
+            parts_per_composite: 200,
+            connections_per_part: 3,
+            document_words: 64,
+            manual_words: 16_384,
+        }
+    }
+
+    /// The structure dimensions for a size profile.
+    pub fn for_profile(profile: crate::profile::SizeProfile) -> Self {
+        profile.pick(
+            Bench7Config::medium(),
+            Bench7Config::full(),
+            Bench7Config::huge(),
+        )
     }
 
     /// A tiny structure for unit tests.
