@@ -60,6 +60,7 @@ use stm_core::error::{Abort, TxResult};
 use stm_core::heap::TmHeap;
 use stm_core::locktable::LockTable;
 use stm_core::logs::{ReadEntry, ReadLog, StripeSet, WriteLog};
+use stm_core::telemetry::{self, ConflictSite, WaitTimer};
 use stm_core::tm::{DescriptorCore, TmAlgorithm, TxDescriptor};
 use stm_core::word::{Addr, Word};
 
@@ -374,6 +375,14 @@ impl Rstm {
         self.variant
     }
 
+    /// The object-header table, exposed for diagnostics and for
+    /// deterministic conflict rigs that stage stuck owners or visible
+    /// readers (see `stm_core::testkit::RecordingCm`). Application code
+    /// never needs it.
+    pub fn objects(&self) -> &LockTable<ObjectHeader> {
+        &self.objects
+    }
+
     fn shared_of(&self, slot: ThreadSlot) -> &Arc<TxShared> {
         self.registry.shared(slot)
     }
@@ -420,17 +429,20 @@ impl Rstm {
 
     /// Resolves a conflict against the owner of `object`; returns `Ok(())`
     /// when the caller may retry the acquisition and `Err` when the caller
-    /// must abort.
-    fn fight_owner(&self, desc: &RstmDescriptor, owner: ThreadSlot, kind: Abort) -> TxResult<()> {
+    /// must abort. `site` attributes the resolution in the contention
+    /// telemetry (eager write, lazy commit-time acquisition, or an eager
+    /// read/write conflict).
+    fn fight_owner(
+        &self,
+        desc: &RstmDescriptor,
+        owner: ThreadSlot,
+        kind: Abort,
+        site: ConflictSite,
+    ) -> TxResult<()> {
         let owner_shared = self.shared_of(owner);
-        match self.cm.resolve(&desc.core.shared, owner_shared) {
+        match telemetry::resolve_recorded(&*self.cm, &desc.core.shared, owner_shared, site) {
             Resolution::AbortSelf => Err(kind),
-            Resolution::AbortOther => {
-                owner_shared.request_abort();
-                std::hint::spin_loop();
-                Ok(())
-            }
-            Resolution::Wait => {
+            Resolution::AbortOther | Resolution::Wait => {
                 std::hint::spin_loop();
                 Ok(())
             }
@@ -454,10 +466,26 @@ impl Rstm {
             }
             if readers & (1 << slot_index) != 0 {
                 let reader = self.shared_of(ThreadSlot::new(slot_index));
-                match self.cm.resolve(&desc.core.shared, reader) {
+                let resolution = self.cm.resolve(&desc.core.shared, reader);
+                // This site cannot wait: any decision other than AbortSelf
+                // is carried out by telling the reader to abort, so the
+                // telemetry records the *effective* resolution — a literal
+                // `Wait` answer would otherwise show up as waits with zero
+                // victim-aborts next to a non-zero inflicted count.
+                let effective = match resolution {
+                    Resolution::Wait => Resolution::AbortOther,
+                    other => other,
+                };
+                desc.core
+                    .shared
+                    .telemetry()
+                    .record_resolution(ConflictSite::VisibleReader, effective);
+                match resolution {
                     Resolution::AbortSelf => return Err(Abort::WRITE_CONFLICT),
                     Resolution::AbortOther | Resolution::Wait => {
-                        reader.request_abort();
+                        if reader.request_abort() {
+                            desc.core.shared.telemetry().record_abort_inflicted();
+                        }
                     }
                 }
             }
@@ -465,11 +493,20 @@ impl Rstm {
         Ok(())
     }
 
-    fn acquire_object(&self, desc: &mut RstmDescriptor, lock_index: usize) -> TxResult<()> {
+    fn acquire_object(
+        &self,
+        desc: &mut RstmDescriptor,
+        lock_index: usize,
+        site: ConflictSite,
+    ) -> TxResult<()> {
         if desc.acquired.contains(lock_index) {
             return Ok(());
         }
         let object = self.objects.entry_at(lock_index);
+        // Lazily started wait timer: conflict-free acquisitions never
+        // sample a clock; contended ones attribute the loop's wall-clock
+        // time to the CM wait total on every exit path.
+        let mut wait_timer: Option<WaitTimer> = None;
         loop {
             if desc.core.shared.abort_requested() {
                 return Err(Abort::REMOTE);
@@ -482,10 +519,14 @@ impl Rstm {
                 }
                 Some(owner) if owner == desc.core.slot => break,
                 Some(owner) => {
-                    self.fight_owner(desc, owner, Abort::WRITE_CONFLICT)?;
+                    if wait_timer.is_none() {
+                        wait_timer = Some(WaitTimer::start(&desc.core.shared));
+                    }
+                    self.fight_owner(desc, owner, Abort::WRITE_CONFLICT, site)?;
                 }
             }
         }
+        drop(wait_timer);
         // Record the version observed at acquisition so commit can detect
         // read/write races on the object itself.
         let version = object.version().unwrap_or(0);
@@ -597,17 +638,24 @@ impl TmAlgorithm for Rstm {
         // consults the contention manager) — the behaviour the paper's
         // Figure 7/8 analysis attributes to eager designs.
         if self.variant.acquisition == Acquisition::Eager {
+            let mut wait_timer: Option<WaitTimer> = None;
             while let Some(owner) = object.owner() {
                 if owner == desc.core.slot {
                     break;
                 }
-                if let Err(abort) = self.fight_owner(desc, owner, Abort::READ_LOCKED) {
+                if wait_timer.is_none() {
+                    wait_timer = Some(WaitTimer::start(&desc.core.shared));
+                }
+                if let Err(abort) =
+                    self.fight_owner(desc, owner, Abort::READ_LOCKED, ConflictSite::Read)
+                {
                     return Err(self.doom(desc, abort));
                 }
                 if desc.core.shared.abort_requested() {
                     return Err(self.doom(desc, Abort::REMOTE));
                 }
             }
+            drop(wait_timer);
         }
 
         if self.variant.visibility == ReadVisibility::Visible
@@ -662,7 +710,7 @@ impl TmAlgorithm for Rstm {
         let lock_index = self.objects.index_of(addr);
 
         if self.variant.acquisition == Acquisition::Eager {
-            if let Err(abort) = self.acquire_object(desc, lock_index) {
+            if let Err(abort) = self.acquire_object(desc, lock_index, ConflictSite::Write) {
                 return Err(self.doom(desc, abort));
             }
             let version = desc.acquired.version_of(lock_index).unwrap_or(0);
@@ -707,7 +755,7 @@ impl TmAlgorithm for Rstm {
             desc.write_log.sorted_stripe_indices(&mut order);
             let mut acquired = Ok(());
             for &lock_index in &order {
-                if let Err(abort) = self.acquire_object(desc, lock_index) {
+                if let Err(abort) = self.acquire_object(desc, lock_index, ConflictSite::Commit) {
                     acquired = Err(abort);
                     break;
                 }

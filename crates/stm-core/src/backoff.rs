@@ -46,26 +46,32 @@ pub fn spin(iterations: u64) {
 
 /// Randomized linear back-off: spin for a uniformly random number of
 /// iterations in the half-open range `[0, successive_aborts * BACKOFF_UNIT)`.
+/// Returns the number of iterations spun, so callers can feed the
+/// contention telemetry.
 ///
 /// This is the paper's `wait-random(tx.succ-abort-count)`.
-pub fn wait_random_linear(successive_aborts: u64) {
+pub fn wait_random_linear(successive_aborts: u64) -> u64 {
     if successive_aborts == 0 {
-        return;
+        return 0;
     }
     let bound = successive_aborts.saturating_mul(BACKOFF_UNIT).max(1);
     let mut rng = FastRng::new(thread_seed());
     let iterations = rng.next_below(bound);
     spin(iterations);
+    iterations
 }
 
 /// Randomized exponential back-off: spin for a random number of iterations
 /// in the half-open range `[0, 2^min(attempt, MAX_EXPONENT) * BACKOFF_UNIT)`.
-pub fn wait_random_exponential(attempt: u32) {
+/// Returns the number of iterations spun, so callers can feed the
+/// contention telemetry.
+pub fn wait_random_exponential(attempt: u32) -> u64 {
     let exp = attempt.min(MAX_EXPONENT);
     let bound = (1u64 << exp).saturating_mul(BACKOFF_UNIT);
     let mut rng = FastRng::new(thread_seed());
     let iterations = rng.next_below(bound);
     spin(iterations);
+    iterations
 }
 
 /// A deterministic, cheap pseudo-random generator for use *inside*
@@ -121,16 +127,16 @@ mod tests {
 
     #[test]
     fn linear_backoff_with_zero_aborts_returns_immediately() {
-        // Just exercises the early-return path; nothing to assert beyond
-        // termination.
-        wait_random_linear(0);
-        wait_random_linear(3);
+        assert_eq!(wait_random_linear(0), 0);
+        assert!(wait_random_linear(3) < 3 * BACKOFF_UNIT);
     }
 
     #[test]
     fn exponential_backoff_caps_exponent() {
-        // Must terminate quickly even for absurd attempt counts.
-        wait_random_exponential(1_000_000);
+        // Must terminate quickly even for absurd attempt counts, and report
+        // a spin count inside the capped bound.
+        let spins = wait_random_exponential(1_000_000);
+        assert!(spins < (1u64 << MAX_EXPONENT) * BACKOFF_UNIT);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::error::StmError;
+use crate::telemetry::ContentionTelemetry;
 
 /// A shared monotonically increasing 64-bit counter.
 ///
@@ -120,8 +121,13 @@ pub struct TxShared {
     /// Number of successive aborts of the current transaction (reset on
     /// commit); drives randomized linear back-off.
     successive_aborts: AtomicU64,
+    /// Number of times the current attempt's contention manager chose to
+    /// wait; bounds Polka's wait budget per attempt.
+    cm_waits: AtomicU64,
     /// Coarse transaction status, used by visible-reader style algorithms.
     status: AtomicU64,
+    /// Contention telemetry counters (written by the owning thread only).
+    telemetry: ContentionTelemetry,
 }
 
 impl TxShared {
@@ -132,7 +138,9 @@ impl TxShared {
             priority: AtomicU64::new(0),
             abort_requested: AtomicBool::new(false),
             successive_aborts: AtomicU64::new(0),
+            cm_waits: AtomicU64::new(0),
             status: AtomicU64::new(TxStatus::Idle.as_u64()),
+            telemetry: ContentionTelemetry::default(),
         }
     }
 
@@ -172,10 +180,13 @@ impl TxShared {
     }
 
     /// Requests that the owning transaction aborts itself at its next
-    /// transactional operation.
+    /// transactional operation. Returns `true` when the request was newly
+    /// delivered (the flag transitioned from clear to set) — the caller uses
+    /// this to count *inflicted* remote aborts without double-counting
+    /// re-requests while a previous one is still pending.
     #[inline]
-    pub fn request_abort(&self) {
-        self.abort_requested.store(true, Ordering::Release);
+    pub fn request_abort(&self) -> bool {
+        !self.abort_requested.swap(true, Ordering::AcqRel)
     }
 
     /// Returns `true` if some other transaction requested an abort.
@@ -206,6 +217,30 @@ impl TxShared {
     #[inline]
     pub fn reset_aborts(&self) {
         self.successive_aborts.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of CM waits recorded for the current attempt.
+    #[inline]
+    pub fn cm_wait_count(&self) -> u64 {
+        self.cm_waits.load(Ordering::Relaxed)
+    }
+
+    /// Records one more CM wait of the current attempt.
+    #[inline]
+    pub fn bump_cm_waits(&self) {
+        self.cm_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Resets the per-attempt CM wait counter (called from `on_start`).
+    #[inline]
+    pub fn reset_cm_waits(&self) {
+        self.cm_waits.store(0, Ordering::Relaxed);
+    }
+
+    /// The thread's contention telemetry counters.
+    #[inline]
+    pub fn telemetry(&self) -> &ContentionTelemetry {
+        &self.telemetry
     }
 
     /// Current coarse status.
@@ -357,10 +392,21 @@ mod tests {
         assert_eq!(shared.cm_ts(), 7);
 
         assert!(!shared.abort_requested());
-        shared.request_abort();
+        assert!(shared.request_abort(), "first request is newly delivered");
         assert!(shared.abort_requested());
+        assert!(
+            !shared.request_abort(),
+            "re-request while pending is not a fresh delivery"
+        );
         shared.clear_abort_request();
         assert!(!shared.abort_requested());
+
+        assert_eq!(shared.cm_wait_count(), 0);
+        shared.bump_cm_waits();
+        shared.bump_cm_waits();
+        assert_eq!(shared.cm_wait_count(), 2);
+        shared.reset_cm_waits();
+        assert_eq!(shared.cm_wait_count(), 0);
 
         assert_eq!(shared.record_abort(), 1);
         assert_eq!(shared.record_abort(), 2);

@@ -23,6 +23,7 @@
 
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::backoff;
 use crate::clock::{GlobalClock, TxShared, CM_TS_INFINITY};
@@ -93,6 +94,15 @@ impl fmt::Debug for dyn ContentionManager {
 /// Shared handle to a contention manager.
 pub type CmHandle = Arc<dyn ContentionManager>;
 
+/// Randomized linear back-off after a rollback, recorded in the thread's
+/// contention telemetry (spin count and wall-clock time). Only runs on the
+/// abort path, so the `Instant` samples never touch the fast path.
+fn timed_rollback_backoff(me: &TxShared) {
+    let start = Instant::now();
+    let spins = backoff::wait_random_linear(me.successive_aborts());
+    me.telemetry().record_backoff(spins, start.elapsed());
+}
+
 // ---------------------------------------------------------------------------
 // Timid
 // ---------------------------------------------------------------------------
@@ -132,7 +142,7 @@ impl ContentionManager for Timid {
 
     fn on_rollback(&self, me: &TxShared) {
         if self.backoff_on_rollback {
-            backoff::wait_random_linear(me.successive_aborts());
+            timed_rollback_backoff(me);
         }
     }
 
@@ -254,29 +264,42 @@ impl ContentionManager for Serializer {
 /// The Polka manager of Scherer and Scott: the attacker's priority is the
 /// number of locations it has accessed; a lower-priority attacker waits
 /// with exponential back-off, bumping its priority by one per wait, and
-/// aborts the victim once its (boosted) priority reaches the victim's or
-/// its wait budget is exhausted.
+/// aborts the victim (never itself) once its boosted priority reaches the
+/// victim's or its wait budget is exhausted.
+///
+/// The wait budget is accounted *per transaction attempt*: once an attempt
+/// has spent `attempts` waits (across all of its conflicts), every further
+/// conflict resolves to `AbortOther` immediately. The earlier revision of
+/// this manager resolved an exhausted budget with `AbortSelf`, which
+/// contradicts the original Polka's "back off N times, then abort the
+/// enemy" rule and made the budget edge cases untestable (`attempts = 0`
+/// degenerated to timid instead of to pure priority arbitration).
 #[derive(Debug)]
 pub struct Polka {
-    /// Maximum number of back-off rounds before forcibly aborting the
-    /// victim.
-    max_waits: u32,
+    /// Maximum number of back-off rounds per attempt before forcibly
+    /// aborting the victim.
+    max_attempts: u32,
 }
 
 impl Polka {
     /// Default number of back-off rounds used by the original Polka paper.
-    pub const DEFAULT_MAX_WAITS: u32 = 22;
+    pub const DEFAULT_ATTEMPTS: u32 = 22;
 
     /// Creates a Polka manager with the default wait budget.
     pub fn new() -> Self {
         Polka {
-            max_waits: Self::DEFAULT_MAX_WAITS,
+            max_attempts: Self::DEFAULT_ATTEMPTS,
         }
     }
 
-    /// Creates a Polka manager with an explicit wait budget.
-    pub fn with_max_waits(max_waits: u32) -> Self {
-        Polka { max_waits }
+    /// Creates a Polka manager with an explicit wait budget. `attempts = 0`
+    /// never waits: every conflict resolves to `AbortOther` immediately
+    /// (the priority comparison only decides whether a wait would have been
+    /// attempted first).
+    pub fn with_attempts(attempts: u32) -> Self {
+        Polka {
+            max_attempts: attempts,
+        }
     }
 }
 
@@ -292,7 +315,8 @@ impl ContentionManager for Polka {
             me.set_priority(0);
         }
         // Priorities persist across restarts (Karma heritage): aborted work
-        // still counts.
+        // still counts. The wait budget, however, is per attempt.
+        me.reset_cm_waits();
     }
 
     fn on_read(&self, me: &TxShared, _reads_so_far: usize) {
@@ -305,24 +329,29 @@ impl ContentionManager for Polka {
 
     fn resolve(&self, me: &TxShared, owner: &TxShared) -> Resolution {
         // The driver calls `resolve` repeatedly while the conflict persists.
-        // Each round the attacker waits (exponential back-off) and boosts its
-        // priority by one, so the number of waits is bounded by the initial
-        // priority deficit; once the boosted priority catches up, the victim
-        // is aborted (this is the original Polka behaviour of aborting the
-        // enemy after the wait budget is exhausted).
+        // Each round the attacker waits (exponential back-off) and boosts
+        // its priority by one, so against a static owner the number of waits
+        // is the initial priority deficit, capped by the per-attempt budget;
+        // in both cases the conflict ends with the *enemy* aborted, exactly
+        // as the original Polka specifies.
         let my_priority = me.priority();
         let owner_priority = owner.priority();
         if my_priority >= owner_priority {
             return Resolution::AbortOther;
         }
-        let deficit = owner_priority - my_priority;
-        if deficit > self.max_waits as u64 {
-            // Far behind a much larger transaction: give up immediately
-            // rather than stalling for a long time.
-            return Resolution::AbortSelf;
+        if me.cm_wait_count() >= self.max_attempts as u64 {
+            return Resolution::AbortOther;
         }
+        me.bump_cm_waits();
         me.bump_priority();
-        backoff::wait_random_exponential(deficit as u32);
+        // The exponent is capped at MAX_EXPONENT inside the back-off
+        // anyway; clamping before the narrowing cast keeps a huge deficit
+        // (> u32::MAX, reachable now that the budget — not the deficit —
+        // bounds the waits) from truncating to a near-zero exponent.
+        let deficit = (owner_priority - my_priority).min(u64::from(backoff::MAX_EXPONENT));
+        let start = Instant::now();
+        let spins = backoff::wait_random_exponential(deficit as u32);
+        me.telemetry().record_backoff(spins, start.elapsed());
         Resolution::Wait
     }
 
@@ -433,7 +462,7 @@ impl ContentionManager for TwoPhase {
 
     fn on_rollback(&self, me: &TxShared) {
         if self.backoff_on_rollback {
-            backoff::wait_random_linear(me.successive_aborts());
+            timed_rollback_backoff(me);
         }
     }
 
@@ -637,7 +666,7 @@ mod tests {
     #[test]
     fn polka_lower_priority_attacker_waits_and_boosts() {
         let (reg, a, b) = two_txs();
-        let cm = Polka::with_max_waits(4);
+        let cm = Polka::with_attempts(4);
         cm.on_start(reg.shared(a), false);
         cm.on_start(reg.shared(b), false);
         reg.shared(a).set_priority(1);
@@ -645,6 +674,104 @@ mod tests {
         let r = cm.resolve(reg.shared(a), reg.shared(b));
         assert_eq!(r, Resolution::Wait);
         assert_eq!(reg.shared(a).priority(), 2);
+    }
+
+    /// The attempt bound, pinned exactly: with a deficit of `k ≤ attempts`
+    /// the attacker waits exactly `k` times (catching up one priority per
+    /// wait) and the `k+1`-th resolve aborts the *victim* — never the
+    /// attacker.
+    #[test]
+    fn polka_waits_exactly_deficit_times_then_aborts_the_victim() {
+        let (reg, a, b) = two_txs();
+        let cm = Polka::with_attempts(10);
+        cm.on_start(reg.shared(a), false);
+        cm.on_start(reg.shared(b), false);
+        reg.shared(b).set_priority(3);
+        for round in 0..3 {
+            assert_eq!(
+                cm.resolve(reg.shared(a), reg.shared(b)),
+                Resolution::Wait,
+                "round {round} must wait"
+            );
+        }
+        assert_eq!(
+            cm.resolve(reg.shared(a), reg.shared(b)),
+            Resolution::AbortOther
+        );
+    }
+
+    /// The budget caps the waits even when the deficit is larger: exactly
+    /// `attempts` waits precede the `AbortOther`.
+    #[test]
+    fn polka_exhausted_budget_aborts_the_victim_after_exactly_max_waits() {
+        let (reg, a, b) = two_txs();
+        let cm = Polka::with_attempts(2);
+        cm.on_start(reg.shared(a), false);
+        cm.on_start(reg.shared(b), false);
+        reg.shared(b).set_priority(100);
+        assert_eq!(cm.resolve(reg.shared(a), reg.shared(b)), Resolution::Wait);
+        assert_eq!(cm.resolve(reg.shared(a), reg.shared(b)), Resolution::Wait);
+        // Budget (2) spent: the victim is aborted, the attacker never is.
+        assert_eq!(
+            cm.resolve(reg.shared(a), reg.shared(b)),
+            Resolution::AbortOther
+        );
+    }
+
+    /// Edge case mirroring `TwoPhase::with_wn(0)`: a zero wait budget must
+    /// degenerate to pure priority arbitration with no waiting at all, not
+    /// to a timid manager that aborts itself.
+    #[test]
+    fn polka_with_attempts_zero_never_waits() {
+        let (reg, a, b) = two_txs();
+        let cm = Polka::with_attempts(0);
+        cm.on_start(reg.shared(a), false);
+        cm.on_start(reg.shared(b), false);
+        reg.shared(b).set_priority(50);
+        assert_eq!(
+            cm.resolve(reg.shared(a), reg.shared(b)),
+            Resolution::AbortOther,
+            "attempts = 0 must not be able to slip into the wait branch"
+        );
+        assert_eq!(reg.shared(a).priority(), 0, "no wait, no priority boost");
+    }
+
+    /// A deficit beyond `u32::MAX` must not truncate into a tiny back-off
+    /// exponent: the wait is the capped maximum, and the resolve still
+    /// terminates promptly.
+    #[test]
+    fn polka_huge_deficit_waits_with_the_capped_exponent() {
+        let (reg, a, b) = two_txs();
+        let cm = Polka::with_attempts(1);
+        cm.on_start(reg.shared(a), false);
+        cm.on_start(reg.shared(b), false);
+        reg.shared(b).set_priority(u64::MAX - 1);
+        assert_eq!(cm.resolve(reg.shared(a), reg.shared(b)), Resolution::Wait);
+        assert_eq!(
+            cm.resolve(reg.shared(a), reg.shared(b)),
+            Resolution::AbortOther
+        );
+    }
+
+    /// The wait budget is per attempt: a restart resets it.
+    #[test]
+    fn polka_wait_budget_resets_on_restart() {
+        let (reg, a, b) = two_txs();
+        let cm = Polka::with_attempts(1);
+        cm.on_start(reg.shared(a), false);
+        cm.on_start(reg.shared(b), false);
+        reg.shared(b).set_priority(100);
+        assert_eq!(cm.resolve(reg.shared(a), reg.shared(b)), Resolution::Wait);
+        assert_eq!(
+            cm.resolve(reg.shared(a), reg.shared(b)),
+            Resolution::AbortOther
+        );
+        cm.on_start(reg.shared(a), true);
+        assert_eq!(
+            cm.resolve(reg.shared(a), reg.shared(b)),
+            Resolution::Wait,
+            "a fresh attempt gets a fresh wait budget"
+        );
     }
 
     #[test]

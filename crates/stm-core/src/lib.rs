@@ -18,6 +18,12 @@
 //!   Serializer, Polka and the paper's two-phase manager),
 //! * [`logs`] — read-/write-log containers,
 //! * [`stats`] — per-thread and aggregated execution statistics,
+//! * [`telemetry`] — allocation-free contention telemetry (CM resolutions
+//!   per conflict site, wait/back-off time, inflicted remote aborts,
+//!   retry-depth histograms) fed by the managers and the STM conflict
+//!   paths,
+//! * [`testkit`] — test support ([`testkit::RecordingCm`]) for
+//!   deterministic contention rigs,
 //! * [`tm`] — the [`tm::TmAlgorithm`] trait every STM implements and the
 //!   [`tm::ThreadContext`] retry driver (`atomically`).
 //!
@@ -55,6 +61,8 @@ pub mod locktable;
 pub mod logs;
 pub mod naive;
 pub mod stats;
+pub mod telemetry;
+pub mod testkit;
 pub mod tm;
 pub mod word;
 
@@ -75,6 +83,7 @@ pub use crate::cm::{ContentionManager, Resolution};
 pub use crate::config::{HeapConfig, LockTableConfig};
 pub use crate::error::{Abort, AbortReason, StmError};
 pub use crate::heap::TmHeap;
-pub use crate::stats::{StatsAggregate, TxStats};
+pub use crate::stats::{RetryHistogram, StatsAggregate, TxStats};
+pub use crate::telemetry::{ConflictSite, ContentionCounters};
 pub use crate::tm::{ThreadContext, TmAlgorithm, Tx};
 pub use crate::word::{Addr, Word};

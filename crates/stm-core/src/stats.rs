@@ -10,6 +10,80 @@ use std::fmt;
 use std::time::Duration;
 
 use crate::error::AbortReason;
+use crate::telemetry::{ContentionCounters, ContentionTelemetry};
+
+/// Number of buckets in a [`RetryHistogram`].
+pub const RETRY_BUCKETS: usize = 6;
+
+/// Labels of the [`RetryHistogram`] buckets (attempts per committed
+/// transaction).
+pub const RETRY_BUCKET_LABELS: [&str; RETRY_BUCKETS] = ["1", "2", "3-4", "5-8", "9-16", "17+"];
+
+/// Histogram of attempts-per-committed-transaction (retry depth).
+///
+/// One committed transaction that needed `a` attempts (1 = first try)
+/// increments one fixed bucket, so recording is allocation-free and O(1).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RetryHistogram {
+    buckets: [u64; RETRY_BUCKETS],
+}
+
+impl RetryHistogram {
+    /// Records one committed transaction that needed `attempts` attempts
+    /// (at least 1).
+    pub fn record(&mut self, attempts: u64) {
+        let bucket = match attempts {
+            0 | 1 => 0,
+            2 => 1,
+            3..=4 => 2,
+            5..=8 => 3,
+            9..=16 => 4,
+            _ => 5,
+        };
+        self.buckets[bucket] = self.buckets[bucket].saturating_add(1);
+    }
+
+    /// The bucket counts, ordered as [`RETRY_BUCKET_LABELS`].
+    pub fn buckets(&self) -> &[u64; RETRY_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Total number of recorded commits.
+    pub fn total(&self) -> u64 {
+        self.buckets
+            .iter()
+            .fold(0u64, |acc, &b| acc.saturating_add(b))
+    }
+
+    /// Merges another histogram into this one, saturating on overflow.
+    pub fn merge_saturating(&mut self, other: &RetryHistogram) {
+        for (bucket, other_bucket) in self.buckets.iter_mut().zip(&other.buckets) {
+            *bucket = bucket.saturating_add(*other_bucket);
+        }
+    }
+}
+
+impl fmt::Display for RetryHistogram {
+    /// Compact `label:count` pairs, skipping empty buckets (`-` when the
+    /// histogram is empty) — the form the harness tables print.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (label, count) in RETRY_BUCKET_LABELS.iter().zip(&self.buckets) {
+            if *count == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{label}:{count}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "-")?;
+        }
+        Ok(())
+    }
+}
 
 /// Statistics of a single thread's transactional activity.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -30,6 +104,11 @@ pub struct TxStats {
     pub validations: u64,
     /// Number of read-set extension attempts that succeeded.
     pub extensions: u64,
+    /// Contention telemetry: CM resolutions per conflict site, wait/back-off
+    /// time and the inflicted/received remote-abort pair.
+    pub contention: ContentionCounters,
+    /// Retry depth (attempts per committed transaction).
+    pub retries: RetryHistogram,
 }
 
 impl TxStats {
@@ -50,6 +129,16 @@ impl TxStats {
     pub fn record_abort(&mut self, reason: AbortReason) {
         self.aborts += 1;
         *self.aborts_by_reason.entry(reason.label()).or_insert(0) += 1;
+        if reason == AbortReason::RemoteAbort {
+            self.contention.remote_aborts_received =
+                self.contention.remote_aborts_received.saturating_add(1);
+        }
+    }
+
+    /// Drains the live contention telemetry counters of `telemetry` into
+    /// this record (the counters are reset in the process).
+    pub fn absorb_telemetry(&mut self, telemetry: &ContentionTelemetry) {
+        telemetry.drain_into(&mut self.contention);
     }
 
     /// Total attempts (commits + aborts).
@@ -68,18 +157,25 @@ impl TxStats {
         }
     }
 
-    /// Merges another record into this one.
+    /// Merges another record into this one. All counters saturate instead
+    /// of wrapping, so adversarial inputs (or very long runs) cannot make an
+    /// aggregate silently wrap around zero.
     pub fn merge(&mut self, other: &TxStats) {
-        self.commits += other.commits;
-        self.read_only_commits += other.read_only_commits;
-        self.aborts += other.aborts;
-        self.reads += other.reads;
-        self.writes += other.writes;
-        self.validations += other.validations;
-        self.extensions += other.extensions;
+        self.commits = self.commits.saturating_add(other.commits);
+        self.read_only_commits = self
+            .read_only_commits
+            .saturating_add(other.read_only_commits);
+        self.aborts = self.aborts.saturating_add(other.aborts);
+        self.reads = self.reads.saturating_add(other.reads);
+        self.writes = self.writes.saturating_add(other.writes);
+        self.validations = self.validations.saturating_add(other.validations);
+        self.extensions = self.extensions.saturating_add(other.extensions);
         for (reason, count) in &other.aborts_by_reason {
-            *self.aborts_by_reason.entry(reason).or_insert(0) += count;
+            let entry = self.aborts_by_reason.entry(reason).or_insert(0);
+            *entry = entry.saturating_add(*count);
         }
+        self.contention.merge_saturating(&other.contention);
+        self.retries.merge_saturating(&other.retries);
     }
 }
 
@@ -142,6 +238,36 @@ impl StatsAggregate {
     /// Abort ratio across all threads.
     pub fn abort_ratio(&self) -> f64 {
         self.totals.abort_ratio()
+    }
+
+    /// Total thread-time of the run in nanoseconds (`elapsed × threads`),
+    /// the denominator of the share metrics below.
+    fn thread_time_nanos(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 * self.threads as f64
+    }
+
+    /// Fraction of total thread-time spent inside CM wait loops, in
+    /// `[0, ~1]`; zero when the run measured no time.
+    pub fn wait_share(&self) -> f64 {
+        let budget = self.thread_time_nanos();
+        if budget <= 0.0 {
+            0.0
+        } else {
+            self.totals.contention.cm_wait_nanos as f64 / budget
+        }
+    }
+
+    /// Fraction of total thread-time spent spinning in back-off, in
+    /// `[0, ~1]`; zero when the run measured no time. Overlaps with
+    /// [`StatsAggregate::wait_share`] for managers that back off inside
+    /// their wait loop (Polka).
+    pub fn backoff_share(&self) -> f64 {
+        let budget = self.thread_time_nanos();
+        if budget <= 0.0 {
+            0.0
+        } else {
+            self.totals.contention.backoff_nanos as f64 / budget
+        }
     }
 }
 
@@ -217,6 +343,122 @@ mod tests {
         let a = TxStats::new();
         let agg = StatsAggregate::collect([&a], Duration::ZERO);
         assert_eq!(agg.throughput(), 0.0);
+    }
+
+    #[test]
+    fn merge_with_non_overlapping_and_overlapping_reason_keys() {
+        let mut a = TxStats::new();
+        a.record_abort(AbortReason::ReadValidation);
+        a.record_abort(AbortReason::Explicit);
+        let mut b = TxStats::new();
+        b.record_abort(AbortReason::ReadValidation); // overlapping key
+        b.record_abort(AbortReason::WriteConflict); // non-overlapping key
+        b.record_abort(AbortReason::RemoteAbort); // non-overlapping key
+        a.merge(&b);
+        assert_eq!(a.aborts, 5);
+        assert_eq!(a.aborts_by_reason.get("read-validation"), Some(&2));
+        assert_eq!(a.aborts_by_reason.get("explicit"), Some(&1));
+        assert_eq!(a.aborts_by_reason.get("write-conflict"), Some(&1));
+        assert_eq!(a.aborts_by_reason.get("remote-abort"), Some(&1));
+        // aborts stays the sum over the reason breakdown.
+        let by_reason: u64 = a.aborts_by_reason.values().sum();
+        assert_eq!(a.aborts, by_reason);
+        // The remote abort was mirrored into the contention counters.
+        assert_eq!(a.contention.remote_aborts_received, 1);
+    }
+
+    #[test]
+    fn merge_saturates_on_adversarial_inputs() {
+        let mut a = TxStats::new();
+        a.commits = u64::MAX;
+        a.aborts = u64::MAX - 1;
+        a.aborts_by_reason.insert("write-conflict", u64::MAX);
+        a.contention.cm_wait_nanos = u64::MAX;
+        a.contention.remote_aborts_inflicted = u64::MAX;
+        a.retries.record(1);
+        let mut b = TxStats::new();
+        b.commits = 5;
+        b.aborts = 5;
+        b.aborts_by_reason.insert("write-conflict", 5);
+        b.contention.cm_wait_nanos = 5;
+        b.contention.backoff_spins = 5;
+        b.contention.remote_aborts_inflicted = 5;
+        let mut big = RetryHistogram::default();
+        for _ in 0..3 {
+            big.record(2);
+        }
+        b.retries = big;
+        a.merge(&b);
+        assert_eq!(a.commits, u64::MAX, "commits must saturate, not wrap");
+        assert_eq!(a.aborts, u64::MAX);
+        assert_eq!(a.aborts_by_reason.get("write-conflict"), Some(&u64::MAX));
+        assert_eq!(a.contention.cm_wait_nanos, u64::MAX);
+        assert_eq!(a.contention.backoff_spins, 5);
+        assert_eq!(a.contention.remote_aborts_inflicted, u64::MAX);
+        assert_eq!(a.retries.total(), 4);
+    }
+
+    #[test]
+    fn retry_histogram_buckets_and_total() {
+        let mut h = RetryHistogram::default();
+        for attempts in [1, 1, 2, 3, 4, 5, 8, 9, 16, 17, 1000] {
+            h.record(attempts);
+        }
+        assert_eq!(h.buckets(), &[2, 1, 2, 2, 2, 2]);
+        assert_eq!(h.total(), 11);
+        let display = h.to_string();
+        assert!(display.contains("3-4:2"), "{display}");
+        assert!(display.contains("17+:2"), "{display}");
+        // A zero attempt count (defensive) lands in the first bucket.
+        h.record(0);
+        assert_eq!(h.buckets()[0], 3);
+    }
+
+    #[test]
+    fn retry_histogram_display_skips_empty_buckets() {
+        let mut h = RetryHistogram::default();
+        assert_eq!(h.to_string(), "-");
+        h.record(1);
+        h.record(1);
+        h.record(1);
+        h.record(3);
+        assert_eq!(h.to_string(), "1:3 3-4:1");
+    }
+
+    #[test]
+    fn aggregate_share_metrics() {
+        let mut a = TxStats::new();
+        a.contention.cm_wait_nanos = 500_000_000; // 0.5 s
+        a.contention.backoff_nanos = 250_000_000; // 0.25 s
+        let b = TxStats::new();
+        let agg = StatsAggregate::collect([&a, &b], Duration::from_secs(1));
+        // Two threads ran for one second: 2 s of thread-time.
+        assert!((agg.wait_share() - 0.25).abs() < 1e-9);
+        assert!((agg.backoff_share() - 0.125).abs() < 1e-9);
+        let empty = StatsAggregate::collect([&a], Duration::ZERO);
+        assert_eq!(empty.wait_share(), 0.0);
+        assert_eq!(empty.backoff_share(), 0.0);
+    }
+
+    #[test]
+    fn absorb_telemetry_folds_and_resets_the_live_counters() {
+        use crate::cm::Resolution;
+        use crate::telemetry::{ConflictSite, ContentionTelemetry};
+        let telemetry = ContentionTelemetry::default();
+        telemetry.record_resolution(ConflictSite::Write, Resolution::AbortSelf);
+        telemetry.record_backoff(3, Duration::from_nanos(30));
+        let mut stats = TxStats::new();
+        stats.absorb_telemetry(&telemetry);
+        assert_eq!(
+            stats
+                .contention
+                .resolved(ConflictSite::Write, Resolution::AbortSelf),
+            1
+        );
+        assert_eq!(stats.contention.backoff_spins, 3);
+        // Draining twice does not double-count.
+        stats.absorb_telemetry(&telemetry);
+        assert_eq!(stats.contention.backoff_spins, 3);
     }
 
     #[test]

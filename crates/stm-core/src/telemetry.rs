@@ -1,0 +1,393 @@
+//! Contention telemetry: allocation-free per-thread counters for the
+//! contended paths.
+//!
+//! [`crate::stats::TxStats`] counts commits and aborts, but throughput alone
+//! does not explain the paper's contention-manager comparisons (Figures
+//! 9/10/12, Table 1): the interesting question is *where contended
+//! transactions spend their time* — waiting in CM wait loops, spinning in
+//! post-abort back-off, or being aborted remotely. This module provides the
+//! counters for exactly that breakdown:
+//!
+//! * [`ContentionTelemetry`] — the live counters, embedded in every
+//!   [`TxShared`] record. They are plain relaxed atomics written only by the
+//!   owning thread (contention-manager hooks receive `&TxShared`, so the
+//!   counters must be interior-mutable), and they are drained into the
+//!   thread's [`crate::stats::TxStats`] when the driver collects statistics.
+//!   Nothing on the uncontended fast path touches them.
+//! * [`ContentionCounters`] — the drained, plain-integer snapshot carried
+//!   inside `TxStats` and merged (saturating) across threads.
+//! * [`ConflictSite`] — which STM code path detected the conflict.
+//! * [`WaitTimer`] — a drop guard the STMs use to attribute wall-clock time
+//!   to their CM wait loops, created lazily on the first contended
+//!   iteration so conflict-free operations pay nothing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::clock::TxShared;
+use crate::cm::{ContentionManager, Resolution};
+
+/// Number of distinct [`ConflictSite`] values.
+pub const SITE_COUNT: usize = 4;
+
+/// Number of distinct [`Resolution`] values.
+pub const RESOLUTION_COUNT: usize = 3;
+
+/// Which STM code path detected a conflict and consulted the contention
+/// manager.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConflictSite {
+    /// Encounter-time write/write conflict: the transaction tried to acquire
+    /// a stripe's write lock during [`crate::tm::TmAlgorithm::write`]
+    /// (SwissTM, TinySTM, eager RSTM).
+    Write,
+    /// Commit-time write/write conflict: the transaction tried to lock its
+    /// write set during commit (TL2, lazy RSTM).
+    Commit,
+    /// Eager read/write conflict: a read found the stripe owned by an active
+    /// writer and "opened" it through the contention manager (RSTM).
+    Read,
+    /// Writer vs. visible readers: a newly acquired object still had
+    /// registered visible readers (RSTM with visible reads).
+    VisibleReader,
+}
+
+impl ConflictSite {
+    /// All sites, in index order.
+    pub const ALL: [ConflictSite; SITE_COUNT] = [
+        ConflictSite::Write,
+        ConflictSite::Commit,
+        ConflictSite::Read,
+        ConflictSite::VisibleReader,
+    ];
+
+    /// Dense index of this site.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            ConflictSite::Write => 0,
+            ConflictSite::Commit => 1,
+            ConflictSite::Read => 2,
+            ConflictSite::VisibleReader => 3,
+        }
+    }
+
+    /// Short machine-friendly label used in tables.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ConflictSite::Write => "write",
+            ConflictSite::Commit => "commit",
+            ConflictSite::Read => "read",
+            ConflictSite::VisibleReader => "visible-reader",
+        }
+    }
+}
+
+/// Dense index of a [`Resolution`].
+#[inline]
+const fn resolution_index(resolution: Resolution) -> usize {
+    match resolution {
+        Resolution::Wait => 0,
+        Resolution::AbortSelf => 1,
+        Resolution::AbortOther => 2,
+    }
+}
+
+/// Resolves a conflict through `cm` with the accounting every STM shares:
+/// the outcome is recorded at `site` in `me`'s telemetry and, on
+/// `AbortOther`, the abort request is delivered to `owner` (a fresh
+/// delivery — the victim's flag transitioned from clear to set — counts as
+/// an inflicted remote abort). Returns the decision for the caller's
+/// control flow; this is the single implementation behind all four STMs'
+/// conflict loops, so the recording order (resolve → record → inflict)
+/// cannot diverge between them.
+pub fn resolve_recorded(
+    cm: &dyn ContentionManager,
+    me: &TxShared,
+    owner: &TxShared,
+    site: ConflictSite,
+) -> Resolution {
+    let resolution = cm.resolve(me, owner);
+    me.telemetry().record_resolution(site, resolution);
+    if resolution == Resolution::AbortOther && owner.request_abort() {
+        me.telemetry().record_abort_inflicted();
+    }
+    resolution
+}
+
+/// Live contention counters of one thread.
+///
+/// Embedded in [`TxShared`]; written through `&self` by the owning thread
+/// only (relaxed atomics — there is no cross-thread ordering requirement, the
+/// values are pure statistics). Drained with [`ContentionTelemetry::drain_into`]
+/// when the driver collects the thread's statistics.
+#[derive(Debug, Default)]
+pub struct ContentionTelemetry {
+    /// `resolutions[site][resolution]` counts of CM `resolve` outcomes.
+    resolutions: [[AtomicU64; RESOLUTION_COUNT]; SITE_COUNT],
+    /// Nanoseconds spent inside CM wait loops (from the first contended
+    /// acquisition attempt until the conflict was resolved either way).
+    cm_wait_nanos: AtomicU64,
+    /// Nanoseconds spent spinning in back-off (post-rollback back-off and
+    /// Polka's in-conflict exponential back-off).
+    backoff_nanos: AtomicU64,
+    /// Spin-loop iterations executed by back-off.
+    backoff_spins: AtomicU64,
+    /// Abort requests this thread *delivered* to victims (transitions of the
+    /// victim's abort flag from clear to set; re-requests while the flag is
+    /// already pending are not counted).
+    aborts_inflicted: AtomicU64,
+}
+
+impl ContentionTelemetry {
+    /// Records the outcome of one [`crate::cm::ContentionManager::resolve`]
+    /// call at `site`.
+    #[inline]
+    pub fn record_resolution(&self, site: ConflictSite, resolution: Resolution) {
+        self.resolutions[site.index()][resolution_index(resolution)]
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records time spent in a CM wait loop.
+    #[inline]
+    pub fn record_cm_wait(&self, waited: Duration) {
+        self.cm_wait_nanos
+            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records one back-off episode: `spins` spin-loop iterations taking
+    /// `waited` wall-clock time.
+    #[inline]
+    pub fn record_backoff(&self, spins: u64, waited: Duration) {
+        self.backoff_spins.fetch_add(spins, Ordering::Relaxed);
+        self.backoff_nanos
+            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records one delivered abort request (the victim's flag transitioned
+    /// from clear to set).
+    #[inline]
+    pub fn record_abort_inflicted(&self) {
+        self.aborts_inflicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Moves the accumulated counters into `out` (saturating) and resets
+    /// them to zero.
+    pub fn drain_into(&self, out: &mut ContentionCounters) {
+        for (site, row) in self.resolutions.iter().enumerate() {
+            for (res, counter) in row.iter().enumerate() {
+                let drained = counter.swap(0, Ordering::Relaxed);
+                out.resolutions[site][res] = out.resolutions[site][res].saturating_add(drained);
+            }
+        }
+        out.cm_wait_nanos = out
+            .cm_wait_nanos
+            .saturating_add(self.cm_wait_nanos.swap(0, Ordering::Relaxed));
+        out.backoff_nanos = out
+            .backoff_nanos
+            .saturating_add(self.backoff_nanos.swap(0, Ordering::Relaxed));
+        out.backoff_spins = out
+            .backoff_spins
+            .saturating_add(self.backoff_spins.swap(0, Ordering::Relaxed));
+        out.remote_aborts_inflicted = out
+            .remote_aborts_inflicted
+            .saturating_add(self.aborts_inflicted.swap(0, Ordering::Relaxed));
+    }
+}
+
+/// Drained, plain-integer contention counters, carried inside
+/// [`crate::stats::TxStats`] and merged saturating across threads.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ContentionCounters {
+    /// `resolutions[site][resolution]` counts of CM `resolve` outcomes
+    /// (indices per [`ConflictSite::index`] / Wait = 0, AbortSelf = 1,
+    /// AbortOther = 2).
+    pub resolutions: [[u64; RESOLUTION_COUNT]; SITE_COUNT],
+    /// Nanoseconds spent inside CM wait loops.
+    pub cm_wait_nanos: u64,
+    /// Nanoseconds spent spinning in back-off. For Polka this overlaps with
+    /// `cm_wait_nanos` (its exponential back-off runs *inside* the wait
+    /// loop); for post-rollback back-off the two are disjoint.
+    pub backoff_nanos: u64,
+    /// Spin-loop iterations executed by back-off.
+    pub backoff_spins: u64,
+    /// Abort requests delivered to victims by this thread.
+    pub remote_aborts_inflicted: u64,
+    /// Aborts of this thread caused by a remote abort request (the
+    /// `remote-abort` entries of `aborts_by_reason`, kept as a dedicated
+    /// counter so the inflicted/received pair reads off one struct).
+    pub remote_aborts_received: u64,
+}
+
+impl ContentionCounters {
+    /// Resolution count for one (site, resolution) pair.
+    #[inline]
+    pub fn resolved(&self, site: ConflictSite, resolution: Resolution) -> u64 {
+        self.resolutions[site.index()][resolution_index(resolution)]
+    }
+
+    /// Total `Wait` resolutions across all sites.
+    pub fn waits(&self) -> u64 {
+        self.total_of(Resolution::Wait)
+    }
+
+    /// Total `AbortSelf` resolutions across all sites.
+    pub fn aborts_self(&self) -> u64 {
+        self.total_of(Resolution::AbortSelf)
+    }
+
+    /// Total `AbortOther` resolutions across all sites.
+    pub fn aborts_other(&self) -> u64 {
+        self.total_of(Resolution::AbortOther)
+    }
+
+    fn total_of(&self, resolution: Resolution) -> u64 {
+        let idx = resolution_index(resolution);
+        self.resolutions
+            .iter()
+            .fold(0u64, |acc, row| acc.saturating_add(row[idx]))
+    }
+
+    /// Merges another snapshot into this one, saturating instead of
+    /// wrapping on overflow.
+    pub fn merge_saturating(&mut self, other: &ContentionCounters) {
+        for (row, other_row) in self.resolutions.iter_mut().zip(&other.resolutions) {
+            for (cell, other_cell) in row.iter_mut().zip(other_row) {
+                *cell = cell.saturating_add(*other_cell);
+            }
+        }
+        self.cm_wait_nanos = self.cm_wait_nanos.saturating_add(other.cm_wait_nanos);
+        self.backoff_nanos = self.backoff_nanos.saturating_add(other.backoff_nanos);
+        self.backoff_spins = self.backoff_spins.saturating_add(other.backoff_spins);
+        self.remote_aborts_inflicted = self
+            .remote_aborts_inflicted
+            .saturating_add(other.remote_aborts_inflicted);
+        self.remote_aborts_received = self
+            .remote_aborts_received
+            .saturating_add(other.remote_aborts_received);
+    }
+}
+
+/// Drop guard attributing wall-clock time to a CM wait loop.
+///
+/// The STMs create one lazily when an acquisition loop first encounters a
+/// foreign owner; whichever way the loop exits (lock acquired, self-abort,
+/// remote abort), dropping the guard adds the elapsed time to the thread's
+/// `cm_wait_nanos`. Holds its own `Arc` so the guard does not borrow the
+/// descriptor across the loop body.
+#[derive(Debug)]
+pub struct WaitTimer {
+    shared: Arc<TxShared>,
+    start: Instant,
+}
+
+impl WaitTimer {
+    /// Starts timing a wait loop for the thread owning `shared`.
+    pub fn start(shared: &Arc<TxShared>) -> WaitTimer {
+        WaitTimer {
+            shared: Arc::clone(shared),
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for WaitTimer {
+    fn drop(&mut self) {
+        self.shared.telemetry().record_cm_wait(self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ThreadRegistry;
+
+    #[test]
+    fn site_indices_are_dense_and_labels_distinct() {
+        for (i, site) in ConflictSite::ALL.iter().enumerate() {
+            assert_eq!(site.index(), i);
+        }
+        let mut labels: Vec<_> = ConflictSite::ALL.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), SITE_COUNT);
+    }
+
+    #[test]
+    fn drain_moves_and_resets() {
+        let t = ContentionTelemetry::default();
+        t.record_resolution(ConflictSite::Write, Resolution::Wait);
+        t.record_resolution(ConflictSite::Write, Resolution::Wait);
+        t.record_resolution(ConflictSite::Commit, Resolution::AbortOther);
+        t.record_cm_wait(Duration::from_nanos(500));
+        t.record_backoff(7, Duration::from_nanos(300));
+        t.record_abort_inflicted();
+
+        let mut c = ContentionCounters::default();
+        t.drain_into(&mut c);
+        assert_eq!(c.resolved(ConflictSite::Write, Resolution::Wait), 2);
+        assert_eq!(c.resolved(ConflictSite::Commit, Resolution::AbortOther), 1);
+        assert_eq!(c.waits(), 2);
+        assert_eq!(c.aborts_other(), 1);
+        assert_eq!(c.aborts_self(), 0);
+        assert_eq!(c.cm_wait_nanos, 500);
+        assert_eq!(c.backoff_nanos, 300);
+        assert_eq!(c.backoff_spins, 7);
+        assert_eq!(c.remote_aborts_inflicted, 1);
+
+        // A second drain finds everything reset.
+        let mut again = ContentionCounters::default();
+        t.drain_into(&mut again);
+        assert_eq!(again, ContentionCounters::default());
+        // And the first drain target is additive across drains.
+        t.record_backoff(1, Duration::from_nanos(1));
+        t.drain_into(&mut c);
+        assert_eq!(c.backoff_spins, 8);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = ContentionCounters {
+            cm_wait_nanos: u64::MAX,
+            backoff_nanos: u64::MAX - 1,
+            ..ContentionCounters::default()
+        };
+        a.resolutions[0][0] = u64::MAX;
+        let mut b = ContentionCounters {
+            cm_wait_nanos: 10,
+            backoff_nanos: 10,
+            remote_aborts_inflicted: u64::MAX,
+            remote_aborts_received: u64::MAX,
+            backoff_spins: 3,
+            ..ContentionCounters::default()
+        };
+        b.resolutions[0][0] = 5;
+        a.merge_saturating(&b);
+        assert_eq!(a.resolutions[0][0], u64::MAX);
+        assert_eq!(a.cm_wait_nanos, u64::MAX);
+        assert_eq!(a.backoff_nanos, u64::MAX);
+        assert_eq!(a.backoff_spins, 3);
+        assert_eq!(a.remote_aborts_inflicted, u64::MAX);
+        assert_eq!(a.remote_aborts_received, u64::MAX);
+        // waits() totals saturate rather than overflow.
+        let mut c = ContentionCounters::default();
+        c.resolutions[0][0] = u64::MAX;
+        c.resolutions[1][0] = 1;
+        assert_eq!(c.waits(), u64::MAX);
+    }
+
+    #[test]
+    fn wait_timer_records_on_drop() {
+        let registry = ThreadRegistry::new();
+        let slot = registry.register().unwrap();
+        let shared = registry.shared(slot);
+        {
+            let _timer = WaitTimer::start(shared);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut c = ContentionCounters::default();
+        shared.telemetry().drain_into(&mut c);
+        assert!(c.cm_wait_nanos >= 1_000_000, "waited {}ns", c.cm_wait_nanos);
+    }
+}

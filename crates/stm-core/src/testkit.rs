@@ -1,0 +1,144 @@
+//! Test support for contention-management rigs.
+//!
+//! [`RecordingCm`] wraps any [`ContentionManager`], records every `resolve`
+//! outcome, and can run a caller-supplied hook *before* returning the
+//! decision to the STM. The deterministic conflict rig
+//! (`tests/contention_telemetry.rs` in the workspace root) combines it with
+//! a "stuck lock" staged directly in an STM's lock table: the hook releases
+//! the stuck lock the moment the manager decides `AbortOther`, so the
+//! attacker's acquisition loop observes exactly one resolution per decision
+//! and the whole schedule is single-threaded and deterministic — no timing,
+//! no flakiness.
+//!
+//! This module is plain `pub` (not `cfg(test)`) because the rigs live in
+//! integration tests of other crates; it is not part of the performance
+//! path.
+
+use std::sync::Mutex;
+
+use crate::clock::TxShared;
+use crate::cm::{CmHandle, ContentionManager, Resolution};
+
+/// Type of the hook invoked after every delegated `resolve`, with the inner
+/// manager's decision, before that decision reaches the STM.
+pub type ResolveHook = Box<dyn Fn(Resolution) + Send + Sync>;
+
+/// A contention manager decorator that logs every resolution.
+pub struct RecordingCm {
+    inner: CmHandle,
+    log: Mutex<Vec<Resolution>>,
+    hook: Mutex<Option<ResolveHook>>,
+}
+
+impl RecordingCm {
+    /// Wraps `inner`, recording its resolutions.
+    pub fn new(inner: CmHandle) -> Self {
+        RecordingCm {
+            inner,
+            log: Mutex::new(Vec::new()),
+            hook: Mutex::new(None),
+        }
+    }
+
+    /// Installs a hook that runs after every delegated `resolve` (with its
+    /// decision) before the decision is returned to the STM. Rigs use this
+    /// to release a staged stuck lock on `AbortOther`, making the conflict
+    /// schedule fully deterministic.
+    pub fn set_resolve_hook(&self, hook: ResolveHook) {
+        *self.hook.lock().unwrap() = Some(hook);
+    }
+
+    /// Removes the installed hook (dropping whatever it captured).
+    pub fn clear_resolve_hook(&self) {
+        *self.hook.lock().unwrap() = None;
+    }
+
+    /// The recorded resolution sequence so far.
+    pub fn resolutions(&self) -> Vec<Resolution> {
+        self.log.lock().unwrap().clone()
+    }
+
+    /// Clears the recorded sequence.
+    pub fn clear(&self) {
+        self.log.lock().unwrap().clear();
+    }
+}
+
+impl std::fmt::Debug for RecordingCm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordingCm")
+            .field("inner", &self.inner.name())
+            .field("recorded", &self.log.lock().unwrap().len())
+            .finish()
+    }
+}
+
+impl ContentionManager for RecordingCm {
+    fn on_start(&self, me: &TxShared, is_restart: bool) {
+        self.inner.on_start(me, is_restart);
+    }
+
+    fn on_write(&self, me: &TxShared, writes_so_far: usize) {
+        self.inner.on_write(me, writes_so_far);
+    }
+
+    fn on_read(&self, me: &TxShared, reads_so_far: usize) {
+        self.inner.on_read(me, reads_so_far);
+    }
+
+    fn resolve(&self, me: &TxShared, owner: &TxShared) -> Resolution {
+        let resolution = self.inner.resolve(me, owner);
+        self.log.lock().unwrap().push(resolution);
+        if let Some(hook) = &*self.hook.lock().unwrap() {
+            hook(resolution);
+        }
+        resolution
+    }
+
+    fn on_rollback(&self, me: &TxShared) {
+        self.inner.on_rollback(me);
+    }
+
+    fn on_commit(&self, me: &TxShared) {
+        self.inner.on_commit(me);
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ThreadRegistry;
+    use crate::cm::Timid;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn records_delegated_resolutions_and_runs_the_hook() {
+        let cm = RecordingCm::new(Arc::new(Timid::new()));
+        let hook_calls = Arc::new(AtomicUsize::new(0));
+        let calls = Arc::clone(&hook_calls);
+        cm.set_resolve_hook(Box::new(move |resolution| {
+            assert_eq!(resolution, Resolution::AbortSelf);
+            calls.fetch_add(1, Ordering::SeqCst);
+        }));
+        let registry = ThreadRegistry::new();
+        let a = registry.register().unwrap();
+        let b = registry.register().unwrap();
+        assert_eq!(
+            cm.resolve(registry.shared(a), registry.shared(b)),
+            Resolution::AbortSelf
+        );
+        assert_eq!(cm.resolutions(), vec![Resolution::AbortSelf]);
+        assert_eq!(hook_calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cm.name(), "timid");
+        cm.clear_resolve_hook();
+        cm.clear();
+        cm.resolve(registry.shared(a), registry.shared(b));
+        assert_eq!(cm.resolutions().len(), 1);
+        assert_eq!(hook_calls.load(Ordering::SeqCst), 1, "hook was cleared");
+    }
+}

@@ -304,12 +304,29 @@ impl<A: TmAlgorithm> ThreadContext<A> {
     }
 
     /// Statistics accumulated so far.
+    ///
+    /// The contention telemetry written through the shared record (CM
+    /// resolutions, wait/back-off time) is folded in lazily; call
+    /// [`ThreadContext::sync_telemetry`] first (or use
+    /// [`ThreadContext::take_stats`], which does) when those fields matter.
     pub fn stats(&self) -> &TxStats {
         &self.stats
     }
 
-    /// Returns the accumulated statistics, resetting the counter.
+    /// Drains the contention telemetry accumulated on the thread's shared
+    /// record into the statistics. Counters recorded by contention-manager
+    /// hooks and STM conflict paths live on [`TxShared`] (they only have a
+    /// shared reference); folding them in here keeps the per-transaction
+    /// epilogues free of telemetry loads.
+    pub fn sync_telemetry(&mut self) {
+        self.stats
+            .absorb_telemetry(self.desc.core().shared.telemetry());
+    }
+
+    /// Returns the accumulated statistics (telemetry folded in), resetting
+    /// the counters.
     pub fn take_stats(&mut self) -> TxStats {
+        self.sync_telemetry();
         std::mem::take(&mut self.stats)
     }
 
@@ -349,7 +366,7 @@ impl<A: TmAlgorithm> ThreadContext<A> {
                     let read_only = self.desc.is_read_only();
                     match self.alg.commit(&mut self.desc) {
                         Ok(()) => {
-                            self.finish_commit(&shared, read_only);
+                            self.finish_commit(&shared, read_only, attempts);
                             return Ok(value);
                         }
                         Err(abort) => {
@@ -397,7 +414,7 @@ impl<A: TmAlgorithm> ThreadContext<A> {
         self.atomically(|tx| tx.write(addr, value))
     }
 
-    fn finish_commit(&mut self, shared: &TxShared, read_only: bool) {
+    fn finish_commit(&mut self, shared: &TxShared, read_only: bool, attempts: u64) {
         let core = self.desc.core_mut();
         let reads = core.attempt_reads;
         let writes = core.attempt_writes;
@@ -413,6 +430,7 @@ impl<A: TmAlgorithm> ThreadContext<A> {
         self.stats.reads += reads;
         self.stats.writes += writes;
         self.stats.record_commit(read_only);
+        self.stats.retries.record(attempts);
         shared.reset_aborts();
         self.alg.contention_manager().on_commit(shared);
         shared.set_status(TxStatus::Idle);

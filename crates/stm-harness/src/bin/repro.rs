@@ -4,10 +4,10 @@
 //!
 //! ```text
 //! repro <experiment> [--full|--huge] [--threads N] [--millis M] [--seed S]
-//!      [--check-shapes]
+//!      [--check-shapes] [--contention]
 //!
 //! experiments: fig2 fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//!              table1 table2 all
+//!              table1 table2 contention all
 //! ```
 //!
 //! Without `--full` the quick profile is used: fewer threads, shorter data
@@ -17,11 +17,17 @@
 //! paper-scale-and-beyond datasets for dedicated runs of single figures.
 //! `--check-shapes` additionally measures the headline figure shapes
 //! (SwissTM vs the baselines, see `stm_harness::shapes`) and fails the
-//! process if a shape is inverted.
+//! process if a shape is inverted. `--contention` extends the CM figures
+//! (`fig9`, `fig10`, and `all`) with contention-telemetry tables — the
+//! wait/back-off time shares and inflicted/received remote-abort counts
+//! next to throughput, for every contention manager. The `contention`
+//! experiment prints the dedicated high-contention profile (small
+//! red-black tree, write-dominated STMBench7, Lee main board).
 
 use std::process::ExitCode;
 use std::time::Duration;
 
+use stm_harness::contention;
 use stm_harness::experiments;
 use stm_harness::runner::RunOptions;
 use stm_harness::shapes;
@@ -33,7 +39,7 @@ fn print_tables(tables: &[Table]) {
     }
 }
 
-fn run_experiment(name: &str, options: &RunOptions) -> Result<(), String> {
+fn run_experiment(name: &str, options: &RunOptions, with_contention: bool) -> Result<(), String> {
     match name {
         "fig2" => print_tables(&experiments::figure2(options)),
         "fig3" => print_tables(&experiments::figure3(options)),
@@ -41,19 +47,33 @@ fn run_experiment(name: &str, options: &RunOptions) -> Result<(), String> {
         "fig5" => print_tables(&[experiments::figure5(options)]),
         "fig7" => print_tables(&[experiments::figure7(options)]),
         "fig8" => print_tables(&[experiments::figure8(options)]),
-        "fig9" => print_tables(&[experiments::figure9(options)]),
-        "fig10" => print_tables(&[experiments::figure10(options)]),
+        "fig9" => {
+            print_tables(&[experiments::figure9(options)]);
+            if with_contention {
+                print_tables(&[contention::figure9_contention(options)]);
+            }
+        }
+        "fig10" => {
+            print_tables(&[experiments::figure10(options)]);
+            if with_contention {
+                print_tables(&[contention::figure10_contention(options)]);
+            }
+        }
         "fig11" => print_tables(&[experiments::figure11(options)]),
         "fig12" => print_tables(&[experiments::figure12(options)]),
         "fig13" => print_tables(&[experiments::figure13(options)]),
         "table1" => print_tables(&[experiments::table1(options)]),
         "table2" => print_tables(&[experiments::table2(options)]),
+        "contention" => print_tables(&contention::profile(options)),
         "all" => {
             for experiment in [
                 "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
                 "fig13", "table1", "table2",
             ] {
-                run_experiment(experiment, options)?;
+                run_experiment(experiment, options, with_contention)?;
+            }
+            if with_contention {
+                run_experiment("contention", options, with_contention)?;
             }
         }
         other => return Err(format!("unknown experiment '{other}'")),
@@ -61,7 +81,14 @@ fn run_experiment(name: &str, options: &RunOptions) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_args() -> Result<(String, RunOptions, bool), String> {
+struct CliArgs {
+    experiment: String,
+    options: RunOptions,
+    check_shapes: bool,
+    contention: bool,
+}
+
+fn parse_args() -> Result<CliArgs, String> {
     let mut args = std::env::args().skip(1);
     let experiment = args.next().ok_or_else(usage)?;
     // The profile flag selects the base options; --threads/--millis/--seed
@@ -72,11 +99,13 @@ fn parse_args() -> Result<(String, RunOptions, bool), String> {
     let mut point_duration = None;
     let mut seed = None;
     let mut check_shapes = false;
+    let mut contention = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--full" => base = RunOptions::full,
             "--huge" => base = RunOptions::huge,
             "--check-shapes" => check_shapes = true,
+            "--contention" => contention = true,
             "--threads" => {
                 max_threads = Some(next_value(&mut args, "--threads")?);
             }
@@ -100,7 +129,12 @@ fn parse_args() -> Result<(String, RunOptions, bool), String> {
     if let Some(seed) = seed {
         options.seed = seed;
     }
-    Ok((experiment, options, check_shapes))
+    Ok(CliArgs {
+        experiment,
+        options,
+        check_shapes,
+        contention,
+    })
 }
 
 fn next_value<T: std::str::FromStr>(
@@ -114,25 +148,39 @@ fn next_value<T: std::str::FromStr>(
 }
 
 fn usage() -> String {
-    "usage: repro <fig2|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|fig12|fig13|table1|table2|all> \
-     [--full|--huge] [--threads N] [--millis M] [--seed S] [--check-shapes]"
+    "usage: repro <fig2|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|fig12|fig13|table1|table2\
+     |contention|all> [--full|--huge] [--threads N] [--millis M] [--seed S] [--check-shapes] \
+     [--contention]"
         .to_string()
 }
 
 fn main() -> ExitCode {
     match parse_args() {
-        Ok((experiment, options, check_shapes)) => {
+        Ok(cli) => {
+            // The flag is redundant (not wrong) on the dedicated
+            // `contention` experiment, so no note there.
+            if cli.contention
+                && !matches!(
+                    cli.experiment.as_str(),
+                    "fig9" | "fig10" | "all" | "contention"
+                )
+            {
+                eprintln!(
+                    "note: --contention adds tables to fig9, fig10 and all only; \
+                     use `repro contention` for the dedicated profile"
+                );
+            }
             println!(
                 "# SwissTM reproduction harness — experiment '{}' ({} threads max, {:?}/point, {} profile)",
-                experiment,
-                options.max_threads,
-                options.point_duration,
-                options.profile.label()
+                cli.experiment,
+                cli.options.max_threads,
+                cli.options.point_duration,
+                cli.options.profile.label()
             );
-            match run_experiment(&experiment, &options) {
+            match run_experiment(&cli.experiment, &cli.options, cli.contention) {
                 Ok(()) => {
-                    if check_shapes {
-                        let report = shapes::run_shape_checks(&options);
+                    if cli.check_shapes {
+                        let report = shapes::run_shape_checks(&cli.options);
                         print!("{report}");
                         if !report.passed() {
                             return ExitCode::FAILURE;

@@ -10,11 +10,15 @@
 //! used in CI and the Criterion benches), the paper's full sweep, and a
 //! huge paper-scale-and-beyond profile. [`shapes`] adds machine-checkable
 //! assertions on the *shape* of the headline figures (who dominates beyond
-//! two threads), exposed through `repro --check-shapes`.
+//! two threads), exposed through `repro --check-shapes`. [`contention`]
+//! adds the contention-telemetry profiles (wait/back-off shares, CM
+//! resolution counts, inflicted/received remote aborts), exposed through
+//! `repro contention` and `repro fig9|fig10 --contention`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod contention;
 pub mod experiments;
 pub mod runner;
 pub mod shapes;

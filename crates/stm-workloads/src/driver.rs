@@ -87,6 +87,18 @@ impl RunResult {
     pub fn abort_ratio(&self) -> f64 {
         self.stats.abort_ratio()
     }
+
+    /// Fraction of total thread-time spent in CM wait loops (contention
+    /// telemetry; see [`stm_core::stats::StatsAggregate::wait_share`]).
+    pub fn wait_share(&self) -> f64 {
+        self.stats.wait_share()
+    }
+
+    /// Fraction of total thread-time spent spinning in back-off (contention
+    /// telemetry; see [`stm_core::stats::StatsAggregate::backoff_share`]).
+    pub fn backoff_share(&self) -> f64 {
+        self.stats.backoff_share()
+    }
 }
 
 /// Runs `workload` on `threads` threads and collects statistics.
@@ -329,6 +341,26 @@ mod tests {
         );
         assert_eq!(result.operations, 200);
         assert_eq!(stm.heap().load(workload.addr), 200);
+    }
+
+    /// The contention telemetry flows from the per-thread contexts through
+    /// `take_stats` into the aggregated `RunResult`: the retry histogram
+    /// accounts for every commit, and the share metrics are well-formed.
+    #[test]
+    fn run_result_carries_contention_telemetry() {
+        let (stm, workload) = setup();
+        let result = run_workload(stm, workload, 2, RunLength::OpsPerThread(50), 3);
+        let totals = &result.stats.totals;
+        assert_eq!(
+            totals.retries.total(),
+            totals.commits,
+            "every commit lands in exactly one retry-depth bucket"
+        );
+        assert!(result.wait_share() >= 0.0);
+        assert!(result.backoff_share() >= 0.0);
+        // Wait time can never exceed the total thread-time of the window.
+        let thread_time_nanos = result.elapsed.as_nanos() as u64 * 2;
+        assert!(totals.contention.cm_wait_nanos <= thread_time_nanos);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use stm_core::error::{Abort, TxResult};
 use stm_core::heap::TmHeap;
 use stm_core::locktable::LockTable;
 use stm_core::logs::{ReadEntry, ReadLog, WriteLog};
+use stm_core::telemetry::{self, ConflictSite, WaitTimer};
 use stm_core::tm::{DescriptorCore, TmAlgorithm, TxDescriptor};
 use stm_core::word::{Addr, Word};
 
@@ -118,6 +119,13 @@ impl SwissTm {
     /// The lock-table stripe granularity (log2 words per stripe).
     pub fn grain_shift(&self) -> u32 {
         self.lock_table.grain_shift()
+    }
+
+    /// The lock table, exposed for diagnostics and for deterministic
+    /// conflict rigs that stage stuck locks (see
+    /// `stm_core::testkit::RecordingCm`). Application code never needs it.
+    pub fn lock_table(&self) -> &LockTable<StripeEntry> {
+        &self.lock_table
     }
 
     fn shared_of(&self, slot: ThreadSlot) -> &Arc<TxShared> {
@@ -344,7 +352,10 @@ impl TmAlgorithm for SwissTm {
         }
 
         // Eager acquisition loop with contention management on write/write
-        // conflicts.
+        // conflicts. The wait timer starts lazily on the first contended
+        // iteration (conflict-free writes never sample a clock) and records
+        // the time spent in the loop on every exit path when it drops.
+        let mut wait_timer: Option<WaitTimer> = None;
         loop {
             match stripe.write_lock() {
                 WriteLockState::Unlocked => {
@@ -358,16 +369,20 @@ impl TmAlgorithm for SwissTm {
                         // as owned.
                         break;
                     }
+                    if wait_timer.is_none() {
+                        wait_timer = Some(WaitTimer::start(&desc.core.shared));
+                    }
                     let owner = self.shared_of(owner_slot);
-                    match self.cm.resolve(&desc.core.shared, owner) {
+                    match telemetry::resolve_recorded(
+                        &*self.cm,
+                        &desc.core.shared,
+                        owner,
+                        ConflictSite::Write,
+                    ) {
                         Resolution::AbortSelf => {
                             return Err(self.doom(desc, Abort::WRITE_CONFLICT));
                         }
-                        Resolution::AbortOther => {
-                            owner.request_abort();
-                            std::hint::spin_loop();
-                        }
-                        Resolution::Wait => {
+                        Resolution::AbortOther | Resolution::Wait => {
                             std::hint::spin_loop();
                         }
                     }
@@ -380,6 +395,7 @@ impl TmAlgorithm for SwissTm {
                 }
             }
         }
+        drop(wait_timer);
 
         // Acquired the stripe: remember the version for a potential restore
         // at commit time.

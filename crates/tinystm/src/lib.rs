@@ -46,6 +46,7 @@ use stm_core::error::{Abort, TxResult};
 use stm_core::heap::TmHeap;
 use stm_core::locktable::LockTable;
 use stm_core::logs::{ReadEntry, ReadLog, WriteLog};
+use stm_core::telemetry::{self, ConflictSite, WaitTimer};
 use stm_core::tm::{DescriptorCore, TmAlgorithm, TxDescriptor};
 use stm_core::word::{Addr, Word};
 
@@ -249,6 +250,13 @@ impl TinyStm {
         self.clock.read()
     }
 
+    /// The lock table, exposed for diagnostics and for deterministic
+    /// conflict rigs that stage stuck locks (see
+    /// `stm_core::testkit::RecordingCm`). Application code never needs it.
+    pub fn lock_table(&self) -> &LockTable<OwnedLock> {
+        &self.lock_table
+    }
+
     fn shared_of(&self, slot: ThreadSlot) -> &Arc<TxShared> {
         self.registry.shared(slot)
     }
@@ -434,7 +442,10 @@ impl TmAlgorithm for TinyStm {
             return Ok(());
         }
 
-        // Encounter-time acquisition with contention management.
+        // Encounter-time acquisition with contention management. The wait
+        // timer starts lazily on the first contended iteration and records
+        // the loop's wall-clock time on every exit path.
+        let mut wait_timer: Option<WaitTimer> = None;
         let version = loop {
             match lock.state() {
                 OwnedLockState::Free { version } => {
@@ -449,15 +460,19 @@ impl TmAlgorithm for TinyStm {
                         desc.write_log.record(addr, value, lock_index, 0);
                         return Ok(());
                     }
-                    match self.cm.resolve(&desc.core.shared, self.shared_of(owner)) {
+                    if wait_timer.is_none() {
+                        wait_timer = Some(WaitTimer::start(&desc.core.shared));
+                    }
+                    match telemetry::resolve_recorded(
+                        &*self.cm,
+                        &desc.core.shared,
+                        self.shared_of(owner),
+                        ConflictSite::Write,
+                    ) {
                         Resolution::AbortSelf => {
                             return Err(self.doom(desc, Abort::WRITE_CONFLICT));
                         }
-                        Resolution::AbortOther => {
-                            self.shared_of(owner).request_abort();
-                            std::hint::spin_loop();
-                        }
-                        Resolution::Wait => std::hint::spin_loop(),
+                        Resolution::AbortOther | Resolution::Wait => std::hint::spin_loop(),
                     }
                     if desc.core.shared.abort_requested() {
                         return Err(self.doom(desc, Abort::REMOTE));
@@ -465,6 +480,7 @@ impl TmAlgorithm for TinyStm {
                 }
             }
         };
+        drop(wait_timer);
 
         desc.write_log.record_stripe(lock_index, version);
         desc.write_log.record(addr, value, lock_index, version);

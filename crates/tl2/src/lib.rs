@@ -50,6 +50,7 @@ use stm_core::error::{Abort, TxResult};
 use stm_core::heap::TmHeap;
 use stm_core::locktable::LockTable;
 use stm_core::logs::{ReadLog, StripeSet, WriteLog};
+use stm_core::telemetry::{self, ConflictSite, WaitTimer};
 use stm_core::tm::{DescriptorCore, TmAlgorithm, TxDescriptor};
 use stm_core::word::{Addr, Word};
 
@@ -245,6 +246,13 @@ impl Tl2 {
         Tl2Builder::new()
     }
 
+    /// The lock table, exposed for diagnostics and for deterministic
+    /// conflict rigs that stage stuck locks (see
+    /// `stm_core::testkit::RecordingCm`). Application code never needs it.
+    pub fn lock_table(&self) -> &LockTable<VersionedLock> {
+        &self.lock_table
+    }
+
     /// Current value of the global version clock.
     pub fn clock_value(&self) -> u64 {
         self.clock.read()
@@ -300,6 +308,13 @@ impl Tl2 {
     fn lock_write_set(&self, desc: &mut Tl2Descriptor, order: &[usize]) -> TxResult<()> {
         for &lock_index in order {
             let lock = self.lock_table.entry_at(lock_index);
+            // Per-stripe lazily started wait timer, scoped exactly like the
+            // encounter-time STMs' timers: it covers one conflict episode
+            // (first contended attempt until this stripe is resolved either
+            // way) and drops at the end of the stripe's iteration, so
+            // uncontended acquisitions of the remaining write set are never
+            // billed as CM wait time.
+            let mut wait_timer: Option<WaitTimer> = None;
             loop {
                 match lock.state() {
                     LockState::Free { version } => {
@@ -312,15 +327,19 @@ impl Tl2 {
                         if owner == desc.core.slot {
                             break;
                         }
-                        match self.cm.resolve(&desc.core.shared, self.shared_of(owner)) {
+                        if wait_timer.is_none() {
+                            wait_timer = Some(WaitTimer::start(&desc.core.shared));
+                        }
+                        match telemetry::resolve_recorded(
+                            &*self.cm,
+                            &desc.core.shared,
+                            self.shared_of(owner),
+                            ConflictSite::Commit,
+                        ) {
                             Resolution::AbortSelf => {
                                 return Err(Abort::WRITE_CONFLICT);
                             }
-                            Resolution::AbortOther => {
-                                self.shared_of(owner).request_abort();
-                                std::hint::spin_loop();
-                            }
-                            Resolution::Wait => std::hint::spin_loop(),
+                            Resolution::AbortOther | Resolution::Wait => std::hint::spin_loop(),
                         }
                         if desc.core.shared.abort_requested() {
                             return Err(Abort::REMOTE);
