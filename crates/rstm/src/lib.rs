@@ -53,7 +53,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use stm_core::clock::{GlobalClock, ThreadRegistry, ThreadSlot, TxShared};
+use stm_core::clock::{ThreadRegistry, ThreadSlot, TxClock, TxShared};
 use stm_core::cm::{CmHandle, ContentionManager, Polka, Resolution};
 use stm_core::config::StmConfig;
 use stm_core::error::{Abort, TxResult};
@@ -321,7 +321,7 @@ impl RstmBuilder {
             heap: TmHeap::new(self.config.heap),
             registry: ThreadRegistry::new(),
             objects: LockTable::new(self.config.lock_table),
-            commit_counter: GlobalClock::new(),
+            commit_counter: TxClock::new(self.config.clock),
             variant: self.variant,
             cm: self.cm.unwrap_or_else(|| Arc::new(Polka::new())),
         }
@@ -339,7 +339,7 @@ pub struct Rstm {
     heap: TmHeap,
     registry: ThreadRegistry,
     objects: LockTable<ObjectHeader>,
-    commit_counter: GlobalClock,
+    commit_counter: TxClock,
     variant: RstmVariant,
     cm: CmHandle,
 }
@@ -373,6 +373,11 @@ impl Rstm {
     /// The variant (acquisition × visibility) of this instance.
     pub fn variant(&self) -> RstmVariant {
         self.variant
+    }
+
+    /// The configured commit-clock mode.
+    pub fn clock_mode(&self) -> stm_core::config::ClockMode {
+        self.commit_counter.mode()
     }
 
     /// The object-header table, exposed for diagnostics and for
@@ -692,8 +697,13 @@ impl TmAlgorithm for Rstm {
         desc.read_log.push(lock_index, version);
         self.cm.on_read(&desc.core.shared, desc.read_log.len());
 
-        if version > desc.valid_ts && !self.extend(desc) {
-            return Err(self.doom(desc, Abort::READ_VALIDATION));
+        if version > desc.valid_ts {
+            // Fold the fresh version into a deferred clock before extending,
+            // so the new snapshot reaches at least this object's version.
+            self.commit_counter.observe(version);
+            if !self.extend(desc) {
+                return Err(self.doom(desc, Abort::READ_VALIDATION));
+            }
         }
         Ok(value)
     }
@@ -714,8 +724,11 @@ impl TmAlgorithm for Rstm {
                 return Err(self.doom(desc, abort));
             }
             let version = desc.acquired.version_of(lock_index).unwrap_or(0);
-            if version > desc.valid_ts && !self.extend(desc) {
-                return Err(self.doom(desc, Abort::READ_VALIDATION));
+            if version > desc.valid_ts {
+                self.commit_counter.observe(version);
+                if !self.extend(desc) {
+                    return Err(self.doom(desc, Abort::READ_VALIDATION));
+                }
             }
         }
         desc.write_log.record(addr, value, lock_index, 0);
@@ -766,8 +779,13 @@ impl TmAlgorithm for Rstm {
             }
         }
 
-        let ts = self.commit_counter.increment_and_get();
-        if ts > desc.valid_ts + 1 && !self.validate(desc) {
+        // Stamped after the whole write set is acquired (eagerly during
+        // execution or in the lazy loop above): a deferred clock's
+        // committer-side fence sits between those acquisitions and its
+        // clock read (see `TxClock`).
+        let stamp = self.commit_counter.commit_stamp(desc.valid_ts);
+        let ts = stamp.ts;
+        if stamp.needs_validation() && !self.validate(desc) {
             return Err(self.doom(desc, Abort::READ_VALIDATION));
         }
 

@@ -12,7 +12,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use rstm::{Rstm, RstmVariant};
-use stm_core::config::StmConfig;
+use stm_core::config::{ClockMode, StmConfig, TableLayout};
 use stm_core::tm::{ThreadContext, TmAlgorithm};
 use swisstm::SwissTm;
 use tinystm::TinyStm;
@@ -20,6 +20,17 @@ use tl2::Tl2;
 
 fn config() -> StmConfig {
     StmConfig::small()
+}
+
+/// The sharded configuration: deferred commit clock + cache-line-padded,
+/// index-mixed lock table. Benchmarked alongside the default so the
+/// uncontended single-thread path of the relaxed/padded combination is
+/// tracked against the strict/flat baseline (it must stay within noise —
+/// the sharding only pays off under cross-thread contention).
+fn sharded_config() -> StmConfig {
+    StmConfig::small()
+        .with_clock(ClockMode::Deferred)
+        .with_table_layout(TableLayout::PaddedMixed)
 }
 
 /// Entries per transaction in the large read/write-set cases: big enough
@@ -148,6 +159,32 @@ fn primitives(c: &mut Criterion) {
     bench_algorithm(c, "primitives_rstm", Arc::new(Rstm::with_config(config())));
 }
 
+/// The same primitive cases under the sharded configuration (deferred
+/// clock, padded-mixed lock table): single-threaded, so any delta vs the
+/// `primitives_*` groups is pure uncontended-path overhead.
+fn primitives_sharded(c: &mut Criterion) {
+    bench_algorithm(
+        c,
+        "primitives_swisstm_sharded",
+        Arc::new(SwissTm::with_config(sharded_config())),
+    );
+    bench_algorithm(
+        c,
+        "primitives_tl2_sharded",
+        Arc::new(Tl2::with_config(sharded_config())),
+    );
+    bench_algorithm(
+        c,
+        "primitives_tinystm_sharded",
+        Arc::new(TinyStm::with_config(sharded_config())),
+    );
+    bench_algorithm(
+        c,
+        "primitives_rstm_sharded",
+        Arc::new(Rstm::with_config(sharded_config())),
+    );
+}
+
 fn large_sets(c: &mut Criterion) {
     bench_large_sets(
         c,
@@ -175,5 +212,5 @@ fn large_sets(c: &mut Criterion) {
     );
 }
 
-criterion_group!(stm_primitives, primitives, large_sets);
+criterion_group!(stm_primitives, primitives, primitives_sharded, large_sets);
 criterion_main!(stm_primitives);

@@ -33,6 +33,9 @@ pub fn bench_options(threads: usize) -> RunOptions {
         heap_words: 1 << 21,
         lock_table_log2: 14,
         grain_shift: 1,
+        clock: stm_core::config::ClockMode::Strict,
+        table_layout: stm_core::config::TableLayout::Flat,
+        pin: stm_workloads::placement::PlacementPolicy::None,
         profile: SizeProfile::Quick,
         seed: 0xbe7c,
     }

@@ -3,32 +3,42 @@
 //! * [`GlobalClock`] is the shared monotonically increasing counter used as
 //!   the commit timestamp (`commit-ts` in the paper) and as the Greedy
 //!   contention-manager clock (`greedy-ts`).
+//! * [`TxClock`] wraps a [`GlobalClock`] with a [`ClockMode`]-selected
+//!   timestamp protocol: the paper's strict `increment&get`, or a
+//!   TL2/GV5-style deferred ("sloppy") clock that keeps update commits off
+//!   the shared cache line. All four STMs take their snapshots and commit
+//!   stamps through this type.
 //! * [`ThreadRegistry`] hands out [`ThreadSlot`]s and stores one shared
 //!   [`TxShared`] record per slot. Contention managers use these records to
 //!   inspect and signal *other* transactions (e.g. Greedy aborting a
 //!   victim), which is how the reproduction expresses the paper's
 //!   `abort(lock-owner)` without raw pointers.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use crate::config::ClockMode;
 use crate::error::StmError;
+use crate::pad::CachePadded;
 use crate::telemetry::ContentionTelemetry;
 
 /// A shared monotonically increasing 64-bit counter.
 ///
 /// Used both as the global commit counter (`commit-ts`) and, with a separate
-/// instance, as the Greedy timestamp source (`greedy-ts`).
+/// instance, as the Greedy timestamp source (`greedy-ts`). The counter is
+/// cache-line padded: it is the single most contended word in the system,
+/// and without padding whatever the allocator happens to place next to it
+/// (a registry header, another clock) is dragged into its coherence storms.
 #[derive(Debug, Default)]
 pub struct GlobalClock {
-    value: AtomicU64,
+    value: CachePadded<AtomicU64>,
 }
 
 impl GlobalClock {
     /// Creates a clock starting at zero.
     pub fn new() -> Self {
         GlobalClock {
-            value: AtomicU64::new(0),
+            value: CachePadded::new(AtomicU64::new(0)),
         }
     }
 
@@ -68,6 +78,157 @@ impl GlobalClock {
 /// Sentinel meaning "no Greedy timestamp yet" (the paper's `∞`).
 pub const CM_TS_INFINITY: u64 = u64::MAX;
 
+/// The timestamp handed to a committing update transaction by
+/// [`TxClock::commit_stamp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitStamp {
+    /// The version to publish on the written stripes.
+    pub ts: u64,
+    /// `true` when the clock guarantees that *no other* update transaction
+    /// committed between the transaction's snapshot and `ts`, so commit-time
+    /// read-set validation may be skipped. A strict clock hands out unique
+    /// timestamps and sets this when `ts == snapshot + 1`; a deferred clock
+    /// never sets it, because concurrent committers may share a timestamp
+    /// and `ts == snapshot + 1` then proves nothing about quiescence.
+    pub quiescent: bool,
+}
+
+impl CommitStamp {
+    /// Whether the committer must run full read-set validation.
+    #[inline]
+    pub fn needs_validation(self) -> bool {
+        !self.quiescent
+    }
+}
+
+/// The commit clock used by the STM algorithms, in one of two modes.
+///
+/// # Strict mode (the paper's scheme)
+///
+/// [`TxClock::commit_stamp`] is `increment&get`: one CAS/`fetch_add` on the
+/// shared counter per update commit. Timestamps are unique, and the RMW
+/// doubles as the synchronisation edge that makes snapshot extension sound:
+/// a reader whose snapshot is `v` has synchronised with the committer that
+/// produced `v`, so it is guaranteed to see that committer's stripe locks.
+/// The cost is that every committer in the system serialises on one cache
+/// line — the exact coherence wall this module exists to remove.
+///
+/// # Deferred mode (GV5-style "sloppy" clock)
+///
+/// `commit_stamp` only *reads* the counter and stamps `read + 1` — no RMW,
+/// no coherence traffic on the commit fast path. The counter advances
+/// lazily, through [`TxClock::observe`], when a reader encounters a stripe
+/// version ahead of its snapshot. Two trade-offs follow, both encoded in
+/// the API so the STMs cannot get them wrong:
+///
+/// 1. **Timestamps are not unique.** Two concurrent committers may both
+///    stamp `v + 1`, so the strict-mode shortcut "`ts == snapshot + 1`
+///    implies nobody committed in between → skip read-set validation" is
+///    unsound: a whole commit can complete without moving the clock.
+///    [`CommitStamp::quiescent`] is therefore never set in deferred mode;
+///    update commits always validate.
+///
+/// 2. **The RMW synchronisation edge is gone.** With plain loads, a reader
+///    could take snapshot `v`, fail to see the stripe locks of a concurrent
+///    committer that stamped `v` (its lock stores may not be visible yet),
+///    validate successfully, and then accept that committer's
+///    write-back as "not newer than my snapshot" — a mixed snapshot and an
+///    opacity violation. The deferred clock restores the edge with two
+///    `SeqCst` fences instead of a shared RMW: committers fence *between*
+///    locking their write set and reading the clock
+///    ([`TxClock::commit_stamp`]), readers fence *between* reading the
+///    clock and validating ([`TxClock::read`]). For any committer/reader
+///    pair, one fence precedes the other: either the reader's validation
+///    sees the committer's locks (and fails or waits), or the committer's
+///    clock read sees a value ≥ the reader's snapshot (and stamps beyond
+///    it). Both fences are core-local — no cross-core cache-line traffic —
+///    which is the entire point: under contention a local fence is vastly
+///    cheaper than a shared-line RMW, and on the uncontended path it is
+///    roughly a wash (documented in EXPERIMENTS.md).
+///
+/// Opacity is preserved in both modes; deferred mode pays slightly more
+/// validation work (no quiescence shortcut) and slightly staler snapshots
+/// (more false extensions/aborts) in exchange for a commit path that does
+/// not touch any globally contended cache line.
+#[derive(Debug, Default)]
+pub struct TxClock {
+    clock: GlobalClock,
+    mode: ClockMode,
+}
+
+impl TxClock {
+    /// Creates a clock in `mode`, starting at zero.
+    pub fn new(mode: ClockMode) -> Self {
+        TxClock {
+            clock: GlobalClock::new(),
+            mode,
+        }
+    }
+
+    /// The configured mode.
+    #[inline]
+    pub fn mode(&self) -> ClockMode {
+        self.mode
+    }
+
+    /// Takes a snapshot of the clock for `begin` or snapshot extension.
+    ///
+    /// In deferred mode this issues the reader-side `SeqCst` fence *after*
+    /// the load, so it must be called before the reads/validation it
+    /// protects (which is how all the STMs' `begin` and `extend` paths are
+    /// structured).
+    #[inline]
+    pub fn read(&self) -> u64 {
+        let snapshot = self.clock.read();
+        if self.mode == ClockMode::Deferred {
+            fence(Ordering::SeqCst);
+        }
+        snapshot
+    }
+
+    /// Produces the commit timestamp for an update transaction whose
+    /// current snapshot is `snapshot`.
+    ///
+    /// Must be called *after* the write set is locked (which is where all
+    /// four STMs call it): in deferred mode the committer-side fence sits
+    /// between those lock stores and the clock read.
+    #[inline]
+    pub fn commit_stamp(&self, snapshot: u64) -> CommitStamp {
+        match self.mode {
+            ClockMode::Strict => {
+                let ts = self.clock.increment_and_get();
+                CommitStamp {
+                    ts,
+                    quiescent: ts == snapshot + 1,
+                }
+            }
+            ClockMode::Deferred => {
+                fence(Ordering::SeqCst);
+                // The clock is monotone and `snapshot` was read from it, so
+                // `read() + 1 > snapshot` always holds.
+                CommitStamp {
+                    ts: self.clock.read() + 1,
+                    quiescent: false,
+                }
+            }
+        }
+    }
+
+    /// Notes a stripe version ahead of the caller's snapshot.
+    ///
+    /// In deferred mode this is what advances the clock: versions published
+    /// by committers are folded back in by the readers that encounter them,
+    /// so a subsequent snapshot (or extension) reaches at least `version`
+    /// and the reader stops tripping over the same stripe. Strict mode
+    /// never hands out versions ahead of the counter, so this is a no-op.
+    #[inline]
+    pub fn observe(&self, version: u64) {
+        if self.mode == ClockMode::Deferred && version > self.clock.read() {
+            self.clock.advance_to(version);
+        }
+    }
+}
+
 /// Transaction status values stored in [`TxShared::status`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TxStatus {
@@ -101,23 +262,26 @@ impl TxStatus {
     }
 }
 
-/// Per-thread state that must be visible to *other* threads.
+/// Words of a [`TxShared`] record written by *other* threads.
 ///
-/// Everything a contention manager may need to know about a foreign
-/// transaction lives here: its Greedy/two-phase timestamp, its Polka
-/// priority, whether somebody asked it to abort, and how many times it has
-/// aborted in a row (for back-off).
+/// Kept on a dedicated cache line: an attacker delivering an abort request
+/// must not invalidate the line holding the owner's hot, owner-written
+/// state (which the owner re-reads on every transactional operation).
 #[derive(Debug)]
-pub struct TxShared {
-    /// The owning thread slot (index into the registry).
-    slot: ThreadSlot,
+struct RemoteSignals {
+    /// Set by an attacker that decided to abort this transaction.
+    abort_requested: AtomicBool,
+}
+
+/// Words of a [`TxShared`] record written only by the *owning* thread
+/// (other threads' contention managers read them).
+#[derive(Debug)]
+struct OwnerState {
     /// Contention-manager timestamp (`cm-ts`); [`CM_TS_INFINITY`] means the
     /// transaction is still in the first (timid) phase.
     cm_ts: AtomicU64,
     /// Polka/Karma-style priority: number of locations accessed so far.
     priority: AtomicU64,
-    /// Set by an attacker that decided to abort this transaction.
-    abort_requested: AtomicBool,
     /// Number of successive aborts of the current transaction (reset on
     /// commit); drives randomized linear back-off.
     successive_aborts: AtomicU64,
@@ -126,6 +290,30 @@ pub struct TxShared {
     cm_waits: AtomicU64,
     /// Coarse transaction status, used by visible-reader style algorithms.
     status: AtomicU64,
+}
+
+/// Per-thread state that must be visible to *other* threads.
+///
+/// Everything a contention manager may need to know about a foreign
+/// transaction lives here: its Greedy/two-phase timestamp, its Polka
+/// priority, whether somebody asked it to abort, and how many times it has
+/// aborted in a row (for back-off).
+///
+/// The record is split into cache-line-padded groups by *writer*: words
+/// written remotely (abort requests) are isolated from words written by the
+/// owner (timestamps, counters, telemetry), and the whole record is
+/// 64-byte aligned so two threads' records never share a line. Without the
+/// split, every remote abort request would invalidate the owner's priority
+/// and back-off counters — false sharing on the conflict-resolution path,
+/// exactly where latency decides which transaction wins.
+#[derive(Debug)]
+pub struct TxShared {
+    /// The owning thread slot (index into the registry).
+    slot: ThreadSlot,
+    /// Remotely written signal words, on their own line.
+    remote: CachePadded<RemoteSignals>,
+    /// Owner-written conflict-resolution state, on its own line.
+    owner: CachePadded<OwnerState>,
     /// Contention telemetry counters (written by the owning thread only).
     telemetry: ContentionTelemetry,
 }
@@ -134,12 +322,16 @@ impl TxShared {
     fn new(slot: ThreadSlot) -> Self {
         TxShared {
             slot,
-            cm_ts: AtomicU64::new(CM_TS_INFINITY),
-            priority: AtomicU64::new(0),
-            abort_requested: AtomicBool::new(false),
-            successive_aborts: AtomicU64::new(0),
-            cm_waits: AtomicU64::new(0),
-            status: AtomicU64::new(TxStatus::Idle.as_u64()),
+            remote: CachePadded::new(RemoteSignals {
+                abort_requested: AtomicBool::new(false),
+            }),
+            owner: CachePadded::new(OwnerState {
+                cm_ts: AtomicU64::new(CM_TS_INFINITY),
+                priority: AtomicU64::new(0),
+                successive_aborts: AtomicU64::new(0),
+                cm_waits: AtomicU64::new(0),
+                status: AtomicU64::new(TxStatus::Idle.as_u64()),
+            }),
             telemetry: ContentionTelemetry::default(),
         }
     }
@@ -152,31 +344,31 @@ impl TxShared {
     /// Current contention-manager timestamp ([`CM_TS_INFINITY`] if unset).
     #[inline]
     pub fn cm_ts(&self) -> u64 {
-        self.cm_ts.load(Ordering::Acquire)
+        self.owner.cm_ts.load(Ordering::Acquire)
     }
 
     /// Sets the contention-manager timestamp.
     #[inline]
     pub fn set_cm_ts(&self, ts: u64) {
-        self.cm_ts.store(ts, Ordering::Release);
+        self.owner.cm_ts.store(ts, Ordering::Release);
     }
 
     /// Current Polka-style priority.
     #[inline]
     pub fn priority(&self) -> u64 {
-        self.priority.load(Ordering::Relaxed)
+        self.owner.priority.load(Ordering::Relaxed)
     }
 
     /// Sets the Polka-style priority.
     #[inline]
     pub fn set_priority(&self, p: u64) {
-        self.priority.store(p, Ordering::Relaxed);
+        self.owner.priority.store(p, Ordering::Relaxed);
     }
 
     /// Increments the Polka-style priority by one.
     #[inline]
     pub fn bump_priority(&self) {
-        self.priority.fetch_add(1, Ordering::Relaxed);
+        self.owner.priority.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Requests that the owning transaction aborts itself at its next
@@ -186,55 +378,55 @@ impl TxShared {
     /// re-requests while a previous one is still pending.
     #[inline]
     pub fn request_abort(&self) -> bool {
-        !self.abort_requested.swap(true, Ordering::AcqRel)
+        !self.remote.abort_requested.swap(true, Ordering::AcqRel)
     }
 
     /// Returns `true` if some other transaction requested an abort.
     #[inline]
     pub fn abort_requested(&self) -> bool {
-        self.abort_requested.load(Ordering::Acquire)
+        self.remote.abort_requested.load(Ordering::Acquire)
     }
 
     /// Clears the abort request flag (called when a new attempt starts).
     #[inline]
     pub fn clear_abort_request(&self) {
-        self.abort_requested.store(false, Ordering::Release);
+        self.remote.abort_requested.store(false, Ordering::Release);
     }
 
     /// Number of successive aborts of the currently running transaction.
     #[inline]
     pub fn successive_aborts(&self) -> u64 {
-        self.successive_aborts.load(Ordering::Relaxed)
+        self.owner.successive_aborts.load(Ordering::Relaxed)
     }
 
     /// Records one more abort and returns the updated count.
     #[inline]
     pub fn record_abort(&self) -> u64 {
-        self.successive_aborts.fetch_add(1, Ordering::Relaxed) + 1
+        self.owner.successive_aborts.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Resets the successive abort counter (on commit).
     #[inline]
     pub fn reset_aborts(&self) {
-        self.successive_aborts.store(0, Ordering::Relaxed);
+        self.owner.successive_aborts.store(0, Ordering::Relaxed);
     }
 
     /// Number of CM waits recorded for the current attempt.
     #[inline]
     pub fn cm_wait_count(&self) -> u64 {
-        self.cm_waits.load(Ordering::Relaxed)
+        self.owner.cm_waits.load(Ordering::Relaxed)
     }
 
     /// Records one more CM wait of the current attempt.
     #[inline]
     pub fn bump_cm_waits(&self) {
-        self.cm_waits.fetch_add(1, Ordering::Relaxed);
+        self.owner.cm_waits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Resets the per-attempt CM wait counter (called from `on_start`).
     #[inline]
     pub fn reset_cm_waits(&self) {
-        self.cm_waits.store(0, Ordering::Relaxed);
+        self.owner.cm_waits.store(0, Ordering::Relaxed);
     }
 
     /// The thread's contention telemetry counters.
@@ -245,12 +437,12 @@ impl TxShared {
 
     /// Current coarse status.
     pub fn status(&self) -> TxStatus {
-        TxStatus::from_u64(self.status.load(Ordering::Acquire))
+        TxStatus::from_u64(self.owner.status.load(Ordering::Acquire))
     }
 
     /// Publishes a new coarse status.
     pub fn set_status(&self, status: TxStatus) {
-        self.status.store(status.as_u64(), Ordering::Release);
+        self.owner.status.store(status.as_u64(), Ordering::Release);
     }
 }
 
@@ -419,6 +611,70 @@ mod tests {
         shared.set_priority(3);
         shared.bump_priority();
         assert_eq!(shared.priority(), 4);
+    }
+
+    #[test]
+    fn strict_stamps_are_unique_and_detect_quiescence() {
+        let clock = TxClock::new(ClockMode::Strict);
+        let snapshot = clock.read();
+        let first = clock.commit_stamp(snapshot);
+        assert_eq!(first.ts, snapshot + 1);
+        assert!(first.quiescent, "no intervening commit: skip validation");
+        assert!(!first.needs_validation());
+        let second = clock.commit_stamp(snapshot);
+        assert_eq!(second.ts, snapshot + 2);
+        assert!(second.needs_validation(), "a commit intervened");
+        assert_eq!(clock.read(), snapshot + 2);
+    }
+
+    #[test]
+    fn strict_observe_is_a_no_op() {
+        let clock = TxClock::new(ClockMode::Strict);
+        clock.observe(100);
+        assert_eq!(clock.read(), 0);
+    }
+
+    #[test]
+    fn deferred_stamps_do_not_advance_the_clock() {
+        let clock = TxClock::new(ClockMode::Deferred);
+        assert_eq!(clock.mode(), ClockMode::Deferred);
+        let snapshot = clock.read();
+        let first = clock.commit_stamp(snapshot);
+        let second = clock.commit_stamp(snapshot);
+        assert_eq!(first.ts, snapshot + 1);
+        assert_eq!(second.ts, first.ts, "stamps may repeat without an RMW");
+        assert_eq!(clock.read(), snapshot, "the counter did not move");
+        assert!(
+            first.needs_validation() && second.needs_validation(),
+            "deferred commits must always validate"
+        );
+    }
+
+    #[test]
+    fn deferred_clock_advances_through_observation() {
+        let clock = TxClock::new(ClockMode::Deferred);
+        clock.observe(7);
+        assert_eq!(clock.read(), 7, "an observed version catches the clock up");
+        clock.observe(3);
+        assert_eq!(clock.read(), 7, "observation is monotone");
+        let stamp = clock.commit_stamp(5);
+        assert_eq!(stamp.ts, 8, "stamps sit one past the observed frontier");
+    }
+
+    #[test]
+    fn tx_shared_isolates_remote_and_owner_lines() {
+        use crate::pad::CACHE_LINE_BYTES;
+        use std::mem::{align_of, size_of};
+
+        assert_eq!(align_of::<TxShared>(), CACHE_LINE_BYTES);
+        assert_eq!(size_of::<CachePadded<RemoteSignals>>(), CACHE_LINE_BYTES);
+        assert_eq!(size_of::<CachePadded<OwnerState>>(), CACHE_LINE_BYTES);
+        // The whole record is a multiple of the line size, so consecutive
+        // records in any allocation never share a line.
+        assert_eq!(size_of::<TxShared>() % CACHE_LINE_BYTES, 0);
+        // The padded global clock occupies exactly one line.
+        assert_eq!(align_of::<GlobalClock>(), CACHE_LINE_BYTES);
+        assert_eq!(size_of::<GlobalClock>(), CACHE_LINE_BYTES);
     }
 
     #[test]

@@ -1,4 +1,123 @@
-//! Configuration types for the transactional heap and lock tables.
+//! Configuration types for the transactional heap, lock tables, and the
+//! commit clock.
+
+use std::str::FromStr;
+
+/// How the global commit clock hands out timestamps
+/// ([`crate::clock::TxClock`]).
+///
+/// `Strict` is the paper's `increment&get`: every update commit CASes the
+/// shared counter, which serialises all committers on one cache line.
+/// `Deferred` is a TL2/GV5-style "sloppy" clock: committers *read* the
+/// clock and stamp `read + 1` without advancing it; the counter only moves
+/// when a reader observes a version ahead of its snapshot. The trade-off
+/// (documented in detail on [`crate::clock::TxClock`]) is that timestamps
+/// are no longer unique, so commit-time validation can never be skipped —
+/// the clock abstraction encodes this in [`crate::clock::CommitStamp`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ClockMode {
+    /// One CAS per update commit; unique timestamps (the paper's scheme).
+    #[default]
+    Strict,
+    /// GV5-style deferred clock: no CAS on the commit fast path; duplicate
+    /// timestamps allowed, commit validation always runs.
+    Deferred,
+}
+
+impl ClockMode {
+    /// All modes, for conformance sweeps.
+    pub const ALL: [ClockMode; 2] = [ClockMode::Strict, ClockMode::Deferred];
+
+    /// Short machine-friendly label used in tables and CLI flags.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ClockMode::Strict => "strict",
+            ClockMode::Deferred => "deferred",
+        }
+    }
+}
+
+impl FromStr for ClockMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "strict" => Ok(ClockMode::Strict),
+            "deferred" | "sloppy" => Ok(ClockMode::Deferred),
+            other => Err(format!(
+                "unknown clock mode '{other}' (expected strict|deferred)"
+            )),
+        }
+    }
+}
+
+/// Memory layout of the lock table ([`crate::locktable::LockTable`]).
+///
+/// `Flat` is the paper's layout: entries packed back to back, so with
+/// 8-byte entries eight adjacent stripes share one 64-byte cache line and
+/// writers of *neighbouring* stripes ping-pong that line. `Padded` gives
+/// every entry its own line (at 4–8× the table's memory). `Mixed` keeps the
+/// packed layout but scrambles which entry a stripe maps to, so stripes
+/// that are adjacent in the heap land on distant cache lines; `PaddedMixed`
+/// combines both.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TableLayout {
+    /// Packed entries, identity stripe→entry mapping (the paper's layout).
+    #[default]
+    Flat,
+    /// Packed entries, index-mixed stripe→entry mapping.
+    Mixed,
+    /// One cache line per entry, identity mapping.
+    Padded,
+    /// One cache line per entry *and* index mixing.
+    PaddedMixed,
+}
+
+impl TableLayout {
+    /// All layouts, for conformance sweeps.
+    pub const ALL: [TableLayout; 4] = [
+        TableLayout::Flat,
+        TableLayout::Mixed,
+        TableLayout::Padded,
+        TableLayout::PaddedMixed,
+    ];
+
+    /// Whether entries are cache-line padded.
+    pub const fn padded(self) -> bool {
+        matches!(self, TableLayout::Padded | TableLayout::PaddedMixed)
+    }
+
+    /// Whether the stripe index is mixed before indexing the table.
+    pub const fn mixed(self) -> bool {
+        matches!(self, TableLayout::Mixed | TableLayout::PaddedMixed)
+    }
+
+    /// Short machine-friendly label used in tables and CLI flags.
+    pub const fn label(self) -> &'static str {
+        match self {
+            TableLayout::Flat => "flat",
+            TableLayout::Mixed => "mixed",
+            TableLayout::Padded => "padded",
+            TableLayout::PaddedMixed => "padded-mixed",
+        }
+    }
+}
+
+impl FromStr for TableLayout {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "flat" => Ok(TableLayout::Flat),
+            "mixed" => Ok(TableLayout::Mixed),
+            "padded" => Ok(TableLayout::Padded),
+            "padded-mixed" => Ok(TableLayout::PaddedMixed),
+            other => Err(format!(
+                "unknown table layout '{other}' (expected flat|mixed|padded|padded-mixed)"
+            )),
+        }
+    }
+}
 
 /// Configuration of the shared transactional heap.
 ///
@@ -57,14 +176,17 @@ pub struct LockTableConfig {
     pub log2_entries: u32,
     /// log2 of the number of heap words covered by one entry.
     pub grain_shift: u32,
+    /// Memory layout of the table (padding and index mixing).
+    pub layout: TableLayout,
 }
 
 impl LockTableConfig {
-    /// The paper's default: 2^22 entries, 16-byte stripes.
+    /// The paper's default: 2^22 entries, 16-byte stripes, flat layout.
     pub fn paper_default() -> Self {
         LockTableConfig {
             log2_entries: 22,
             grain_shift: 1,
+            layout: TableLayout::Flat,
         }
     }
 
@@ -74,6 +196,7 @@ impl LockTableConfig {
         LockTableConfig {
             log2_entries: 12,
             grain_shift: 1,
+            layout: TableLayout::Flat,
         }
     }
 
@@ -87,6 +210,12 @@ impl LockTableConfig {
     /// Overrides the number of entries.
     pub fn with_log2_entries(mut self, log2_entries: u32) -> Self {
         self.log2_entries = log2_entries;
+        self
+    }
+
+    /// Overrides the memory layout.
+    pub fn with_layout(mut self, layout: TableLayout) -> Self {
+        self.layout = layout;
         self
     }
 
@@ -120,6 +249,8 @@ pub struct StmConfig {
     pub heap: HeapConfig,
     /// Lock-table configuration.
     pub lock_table: LockTableConfig,
+    /// Commit-clock mode.
+    pub clock: ClockMode,
 }
 
 impl StmConfig {
@@ -128,6 +259,7 @@ impl StmConfig {
         StmConfig {
             heap: HeapConfig::small(),
             lock_table: LockTableConfig::small(),
+            clock: ClockMode::Strict,
         }
     }
 
@@ -137,6 +269,7 @@ impl StmConfig {
         StmConfig {
             heap: HeapConfig::large(),
             lock_table: LockTableConfig::paper_default(),
+            clock: ClockMode::Strict,
         }
     }
 
@@ -149,6 +282,18 @@ impl StmConfig {
     /// Sets the lock-table configuration.
     pub fn with_lock_table(mut self, lock_table: LockTableConfig) -> Self {
         self.lock_table = lock_table;
+        self
+    }
+
+    /// Sets the commit-clock mode.
+    pub fn with_clock(mut self, clock: ClockMode) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Sets the lock-table layout, keeping the other table parameters.
+    pub fn with_table_layout(mut self, layout: TableLayout) -> Self {
+        self.lock_table.layout = layout;
         self
     }
 }
@@ -181,8 +326,41 @@ mod tests {
     fn stm_config_builders() {
         let c = StmConfig::small()
             .with_heap(HeapConfig::with_words(1234))
-            .with_lock_table(LockTableConfig::small().with_log2_entries(8));
+            .with_lock_table(LockTableConfig::small().with_log2_entries(8))
+            .with_clock(ClockMode::Deferred)
+            .with_table_layout(TableLayout::PaddedMixed);
         assert_eq!(c.heap.words, 1234);
         assert_eq!(c.lock_table.entries(), 256);
+        assert_eq!(c.clock, ClockMode::Deferred);
+        assert_eq!(c.lock_table.layout, TableLayout::PaddedMixed);
+    }
+
+    #[test]
+    fn defaults_match_the_paper() {
+        assert_eq!(StmConfig::default().clock, ClockMode::Strict);
+        assert_eq!(StmConfig::default().lock_table.layout, TableLayout::Flat);
+        assert_eq!(StmConfig::benchmark().clock, ClockMode::Strict);
+    }
+
+    #[test]
+    fn clock_mode_labels_round_trip() {
+        for mode in ClockMode::ALL {
+            assert_eq!(mode.label().parse::<ClockMode>().unwrap(), mode);
+        }
+        assert_eq!("sloppy".parse::<ClockMode>().unwrap(), ClockMode::Deferred);
+        assert!("gv9".parse::<ClockMode>().is_err());
+    }
+
+    #[test]
+    fn table_layout_labels_round_trip() {
+        for layout in TableLayout::ALL {
+            assert_eq!(layout.label().parse::<TableLayout>().unwrap(), layout);
+        }
+        assert!(TableLayout::PaddedMixed.padded());
+        assert!(TableLayout::PaddedMixed.mixed());
+        assert!(!TableLayout::Flat.padded() && !TableLayout::Flat.mixed());
+        assert!(TableLayout::Mixed.mixed() && !TableLayout::Mixed.padded());
+        assert!(TableLayout::Padded.padded() && !TableLayout::Padded.mixed());
+        assert!("sparse".parse::<TableLayout>().is_err());
     }
 }

@@ -60,6 +60,7 @@ pub mod heap;
 pub mod locktable;
 pub mod logs;
 pub mod naive;
+pub mod pad;
 pub mod stats;
 pub mod telemetry;
 pub mod testkit;
@@ -68,21 +69,25 @@ pub mod word;
 
 /// Convenience re-exports of the types used by nearly every consumer.
 pub mod prelude {
-    pub use crate::clock::{GlobalClock, ThreadRegistry, ThreadSlot, TxShared};
+    pub use crate::clock::{
+        CommitStamp, GlobalClock, ThreadRegistry, ThreadSlot, TxClock, TxShared,
+    };
     pub use crate::cm::{ContentionManager, Resolution};
-    pub use crate::config::{HeapConfig, LockTableConfig};
+    pub use crate::config::{ClockMode, HeapConfig, LockTableConfig, StmConfig, TableLayout};
     pub use crate::error::{Abort, AbortReason, StmError};
     pub use crate::heap::TmHeap;
+    pub use crate::pad::CachePadded;
     pub use crate::stats::{StatsAggregate, TxStats};
     pub use crate::tm::{ThreadContext, TmAlgorithm, Tx};
     pub use crate::word::{Addr, Word};
 }
 
-pub use crate::clock::{GlobalClock, ThreadRegistry, ThreadSlot, TxShared};
+pub use crate::clock::{CommitStamp, GlobalClock, ThreadRegistry, ThreadSlot, TxClock, TxShared};
 pub use crate::cm::{ContentionManager, Resolution};
-pub use crate::config::{HeapConfig, LockTableConfig};
+pub use crate::config::{ClockMode, HeapConfig, LockTableConfig, TableLayout};
 pub use crate::error::{Abort, AbortReason, StmError};
 pub use crate::heap::TmHeap;
+pub use crate::pad::CachePadded;
 pub use crate::stats::{RetryHistogram, StatsAggregate, TxStats};
 pub use crate::telemetry::{ConflictSite, ContentionCounters};
 pub use crate::tm::{ThreadContext, TmAlgorithm, Tx};

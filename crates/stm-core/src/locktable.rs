@@ -5,7 +5,7 @@
 //! table with `2^log2_entries` entries:
 //!
 //! ```text
-//! entry_index = (addr >> grain_shift) & (2^log2_entries - 1)
+//! entry_index = mix((addr >> grain_shift)) & (2^log2_entries - 1)
 //! ```
 //!
 //! Different stripes may alias to the same entry (false conflicts), which
@@ -17,29 +17,83 @@
 //! different metadata per stripe (SwissTM: a read lock and a write lock;
 //! TL2/TinySTM: one versioned lock; RSTM: an object header with a visible
 //! reader bitmap).
+//!
+//! # Layouts ([`TableLayout`])
+//!
+//! The paper's table packs entries back to back, so with 8-byte entries
+//! eight *adjacent* stripes share one 64-byte cache line: threads working
+//! on neighbouring heap words ping-pong that line even when their stripes
+//! never conflict. Two independent remedies are available:
+//!
+//! * **Padding** ([`TableLayout::padded`]) stores every entry in its own
+//!   [`CachePadded`] cell. False sharing between entries disappears
+//!   entirely, at 4–8× the table's memory (the paper-default 2^22-entry
+//!   table grows from 32–64 MiB to 256 MiB — opt-in for dedicated runs).
+//! * **Index mixing** ([`TableLayout::mixed`]) keeps the packed layout but
+//!   multiplies the stripe index by an odd constant (mod the table size)
+//!   before indexing. The map is a bijection on the index space, so the
+//!   false-conflict rate is unchanged — stripes that aliased before still
+//!   alias (indices equal mod `2^log2_entries` stay equal after the odd
+//!   multiply) — but stripes that are *adjacent* in the heap land on
+//!   distant cache lines, for free.
 
-use crate::config::LockTableConfig;
+use crate::config::{LockTableConfig, TableLayout};
+use crate::pad::CachePadded;
 use crate::word::Addr;
+
+/// Odd multiplier for index mixing, from the 64-bit golden ratio (the same
+/// constant as [`crate::hash`]). Any odd constant gives a bijection modulo
+/// a power of two; this one also spreads consecutive indices far apart.
+const INDEX_MIX: usize = 0x9e37_79b9_7f4a_7c15_u64 as usize;
+
+/// Entry storage for the two memory layouts.
+///
+/// The enum match in [`LockTable::entry_at`] is a perfectly predicted
+/// branch (the variant never changes for a given table), so the flat
+/// layout's hot path is unaffected by the padded option's existence.
+#[derive(Debug)]
+enum Entries<E> {
+    /// Packed entries (the paper's layout).
+    Flat(Box<[E]>),
+    /// One cache line per entry.
+    Padded(Box<[CachePadded<E>]>),
+}
 
 /// A fixed-size table mapping heap addresses to per-stripe entries.
 #[derive(Debug)]
 pub struct LockTable<E> {
-    entries: Box<[E]>,
+    entries: Entries<E>,
     grain_shift: u32,
     mask: usize,
+    /// Multiplier applied to the stripe index before masking; 1 for the
+    /// identity mapping, [`INDEX_MIX`] when index mixing is enabled. Using
+    /// a multiplier of 1 keeps the unmixed hot path branch-free.
+    mix: usize,
 }
 
 impl<E: Default> LockTable<E> {
     /// Creates a table whose entries are default-initialised.
     pub fn new(config: LockTableConfig) -> Self {
-        let entries = (0..config.entries())
-            .map(|_| E::default())
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
+        let entries = if config.layout.padded() {
+            Entries::Padded(
+                (0..config.entries())
+                    .map(|_| CachePadded::new(E::default()))
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice(),
+            )
+        } else {
+            Entries::Flat(
+                (0..config.entries())
+                    .map(|_| E::default())
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice(),
+            )
+        };
         LockTable {
             entries,
             grain_shift: config.grain_shift,
             mask: config.entries() - 1,
+            mix: if config.layout.mixed() { INDEX_MIX } else { 1 },
         }
     }
 }
@@ -47,13 +101,16 @@ impl<E: Default> LockTable<E> {
 impl<E> LockTable<E> {
     /// Number of entries in the table.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        match &self.entries {
+            Entries::Flat(entries) => entries.len(),
+            Entries::Padded(entries) => entries.len(),
+        }
     }
 
     /// Returns `true` if the table has no entries (never the case for
     /// tables built through [`LockTable::new`]).
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// log2 of the number of heap words covered by one entry.
@@ -61,34 +118,48 @@ impl<E> LockTable<E> {
         self.grain_shift
     }
 
+    /// The memory layout this table was built with.
+    pub fn layout(&self) -> TableLayout {
+        match (&self.entries, self.mix != 1) {
+            (Entries::Flat(_), false) => TableLayout::Flat,
+            (Entries::Flat(_), true) => TableLayout::Mixed,
+            (Entries::Padded(_), false) => TableLayout::Padded,
+            (Entries::Padded(_), true) => TableLayout::PaddedMixed,
+        }
+    }
+
     /// Index of the entry covering `addr`.
     #[inline]
     pub fn index_of(&self, addr: Addr) -> usize {
-        (addr.index() >> self.grain_shift) & self.mask
+        (addr.index() >> self.grain_shift).wrapping_mul(self.mix) & self.mask
     }
 
     /// The entry covering `addr`.
     #[inline]
     pub fn entry(&self, addr: Addr) -> &E {
-        &self.entries[self.index_of(addr)]
+        self.entry_at(self.index_of(addr))
     }
 
     /// The entry at a raw table index (used when logs store indices instead
     /// of addresses).
     #[inline]
     pub fn entry_at(&self, index: usize) -> &E {
-        &self.entries[index]
+        match &self.entries {
+            Entries::Flat(entries) => &entries[index],
+            Entries::Padded(entries) => &entries[index],
+        }
     }
 
     /// Iterates over all entries (used by tests and invariant checks).
     pub fn iter(&self) -> impl Iterator<Item = &E> {
-        self.entries.iter()
+        (0..self.len()).map(move |i| self.entry_at(i))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pad::CACHE_LINE_BYTES;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
@@ -109,6 +180,7 @@ mod tests {
         let cfg = LockTableConfig {
             log2_entries: 4,
             grain_shift: 0,
+            layout: TableLayout::Flat,
         };
         let table: LockTable<AtomicU64> = LockTable::new(cfg);
         assert_eq!(table.len(), 16);
@@ -139,9 +211,116 @@ mod tests {
         let cfg = LockTableConfig {
             log2_entries: 6,
             grain_shift: 1,
+            layout: TableLayout::Flat,
         };
         let table: LockTable<AtomicU64> = LockTable::new(cfg);
         assert_eq!(table.iter().count(), 64);
         assert!(!table.is_empty());
+    }
+
+    /// Every layout must produce the same aliasing classes: within-stripe
+    /// words map together, and stripes `2^log2_entries` apart still alias.
+    #[test]
+    fn all_layouts_preserve_stripe_aliasing() {
+        for layout in TableLayout::ALL {
+            let cfg = LockTableConfig {
+                log2_entries: 4,
+                grain_shift: 1,
+                layout,
+            };
+            let table: LockTable<AtomicU64> = LockTable::new(cfg);
+            assert_eq!(table.layout(), layout);
+            assert_eq!(table.len(), 16);
+            // Words 0 and 1 share the stripe, whatever the mapping.
+            assert_eq!(
+                table.index_of(Addr::new(2)),
+                table.index_of(Addr::new(3)),
+                "{layout:?}"
+            );
+            // Stripes 16 apart (words 32 apart) alias: the mix is a
+            // bijection modulo the table size, so false-conflict classes
+            // are unchanged.
+            assert_eq!(
+                table.index_of(Addr::new(3)),
+                table.index_of(Addr::new(35)),
+                "{layout:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixing_is_a_bijection_on_the_index_space() {
+        let cfg = LockTableConfig {
+            log2_entries: 8,
+            grain_shift: 0,
+            layout: TableLayout::Mixed,
+        };
+        let table: LockTable<AtomicU64> = LockTable::new(cfg);
+        let mut seen = vec![false; 256];
+        for word in 0..256usize {
+            let idx = table.index_of(Addr::new(word));
+            assert!(!seen[idx], "index {idx} hit twice");
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn mixing_separates_adjacent_stripes() {
+        let flat: LockTable<AtomicU64> = LockTable::new(LockTableConfig {
+            log2_entries: 12,
+            grain_shift: 0,
+            layout: TableLayout::Flat,
+        });
+        let mixed: LockTable<AtomicU64> = LockTable::new(LockTableConfig {
+            log2_entries: 12,
+            grain_shift: 0,
+            layout: TableLayout::Mixed,
+        });
+        let per_line = CACHE_LINE_BYTES / std::mem::size_of::<AtomicU64>();
+        // Flat: consecutive stripes pack onto the same cache line.
+        assert_eq!(
+            flat.index_of(Addr::new(1)) / per_line,
+            flat.index_of(Addr::new(2)) / per_line
+        );
+        // Mixed: every pair of adjacent stripes is at least a line apart.
+        for word in 1..64usize {
+            let a = mixed.index_of(Addr::new(word));
+            let b = mixed.index_of(Addr::new(word + 1));
+            assert!(
+                a.abs_diff(b) >= per_line,
+                "stripes {word} and {} map {a} and {b}, same line",
+                word + 1
+            );
+        }
+    }
+
+    #[test]
+    fn padded_layout_gives_each_entry_its_own_line() {
+        let table: LockTable<AtomicU64> = LockTable::new(LockTableConfig {
+            log2_entries: 4,
+            grain_shift: 1,
+            layout: TableLayout::Padded,
+        });
+        let lines: Vec<usize> = (0..table.len())
+            .map(|i| (table.entry_at(i) as *const AtomicU64 as usize) / CACHE_LINE_BYTES)
+            .collect();
+        let distinct: std::collections::HashSet<_> = lines.iter().collect();
+        assert_eq!(distinct.len(), table.len());
+    }
+
+    #[test]
+    fn padded_tables_behave_like_flat_ones() {
+        for layout in [TableLayout::Padded, TableLayout::PaddedMixed] {
+            let table: LockTable<AtomicU64> =
+                LockTable::new(LockTableConfig::small().with_layout(layout));
+            let addr = Addr::new(40);
+            table.entry(addr).store(9, Ordering::Relaxed);
+            assert_eq!(
+                table.entry_at(table.index_of(addr)).load(Ordering::Relaxed),
+                9
+            );
+            assert_eq!(table.iter().count(), table.len());
+        }
     }
 }

@@ -1,0 +1,129 @@
+//! Cache-line padding for hot shared state.
+//!
+//! All of the scaling-relevant shared words in this reproduction — the
+//! global commit clock, the per-thread [`crate::clock::TxShared`] records,
+//! and the lock-table entries — are small (8–32 bytes). Packed naturally,
+//! unrelated hot words land on the same 64-byte cache line and every write
+//! by one thread invalidates the line in every other core's cache even
+//! though the *data* does not conflict (false sharing). [`CachePadded`]
+//! rounds a value up to its own cache line so that coherence traffic is
+//! only paid for true sharing.
+//!
+//! The wrapper is deliberately minimal: `#[repr(align(64))]` plus
+//! `Deref`/`DerefMut`, so `CachePadded<AtomicU64>` is a drop-in replacement
+//! for `AtomicU64` at every call site.
+
+use std::ops::{Deref, DerefMut};
+
+/// Size (and alignment) of the padding target in bytes.
+///
+/// 64 bytes is the L1/L2 line size on contemporary x86-64 and most AArch64
+/// parts. Some CPUs prefetch line *pairs* (128 bytes); we follow the
+/// paper's platform (x86, 64-byte lines) and keep the memory overhead of
+/// padded lock tables at 4× rather than 8×.
+pub const CACHE_LINE_BYTES: usize = 64;
+
+/// Pads and aligns a value to [`CACHE_LINE_BYTES`] so it occupies its own
+/// cache line(s).
+///
+/// Values larger than one line are aligned to a line boundary and padded to
+/// a multiple of the line size (guaranteed by `repr(align)` rounding the
+/// struct size up to its alignment).
+#[derive(Default)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in cache-line padding.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwraps the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.value.fmt(f)
+    }
+}
+
+impl<T: Clone> Clone for CachePadded<T> {
+    fn clone(&self) -> Self {
+        CachePadded::new(self.value.clone())
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::mem::{align_of, size_of};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn small_values_occupy_exactly_one_line() {
+        assert_eq!(align_of::<CachePadded<AtomicU64>>(), CACHE_LINE_BYTES);
+        assert_eq!(size_of::<CachePadded<AtomicU64>>(), CACHE_LINE_BYTES);
+        assert_eq!(size_of::<CachePadded<u8>>(), CACHE_LINE_BYTES);
+    }
+
+    #[test]
+    fn large_values_round_up_to_whole_lines() {
+        assert_eq!(
+            size_of::<CachePadded<[u64; 9]>>(),
+            2 * CACHE_LINE_BYTES,
+            "a 72-byte payload must take two full lines"
+        );
+        assert_eq!(align_of::<CachePadded<[u64; 9]>>(), CACHE_LINE_BYTES);
+    }
+
+    #[test]
+    fn padded_slices_place_elements_on_distinct_lines() {
+        let pair = [CachePadded::new(0u64), CachePadded::new(0u64)];
+        let a = &pair[0] as *const _ as usize;
+        let b = &pair[1] as *const _ as usize;
+        assert_eq!(a % CACHE_LINE_BYTES, 0);
+        assert_eq!(b - a, size_of::<CachePadded<u64>>());
+        assert!(b / CACHE_LINE_BYTES > a / CACHE_LINE_BYTES);
+    }
+
+    #[test]
+    fn deref_is_transparent() {
+        let padded = CachePadded::new(AtomicU64::new(3));
+        padded.store(5, Ordering::Relaxed);
+        assert_eq!(padded.load(Ordering::Relaxed), 5);
+        assert_eq!(padded.into_inner().into_inner(), 5);
+
+        let mut owned = CachePadded::new(7u32);
+        *owned += 1;
+        assert_eq!(*owned, 8);
+        assert_eq!(CachePadded::from(1u8).into_inner(), 1);
+    }
+}

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! repro <experiment> [--full|--huge] [--threads N] [--millis M] [--seed S]
-//!      [--check-shapes] [--contention]
+//!      [--clock strict|deferred] [--table-layout flat|mixed|padded|padded-mixed]
+//!      [--pin none|compact|scatter] [--check-shapes] [--contention]
 //!
 //! experiments: fig2 fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!              table1 table2 contention all
@@ -23,6 +24,12 @@
 //! next to throughput, for every contention manager. The `contention`
 //! experiment prints the dedicated high-contention profile (small
 //! red-black tree, write-dominated STMBench7, Lee main board).
+//!
+//! `--clock` selects the commit-clock mode (strict `fetch_add` counter vs
+//! the deferred GV5-style clock), `--table-layout` the lock-table memory
+//! layout (cache-line-padded entries and/or index mixing), and `--pin` the
+//! thread-placement policy — together they drive the placement-aware
+//! scaling sweeps (fig9/fig10 with `--contention`).
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -98,6 +105,9 @@ fn parse_args() -> Result<CliArgs, String> {
     let mut max_threads = None;
     let mut point_duration = None;
     let mut seed = None;
+    let mut clock = None;
+    let mut table_layout = None;
+    let mut pin = None;
     let mut check_shapes = false;
     let mut contention = false;
     while let Some(flag) = args.next() {
@@ -116,6 +126,15 @@ fn parse_args() -> Result<CliArgs, String> {
             "--seed" => {
                 seed = Some(next_value(&mut args, "--seed")?);
             }
+            "--clock" => {
+                clock = Some(next_value(&mut args, "--clock")?);
+            }
+            "--table-layout" => {
+                table_layout = Some(next_value(&mut args, "--table-layout")?);
+            }
+            "--pin" => {
+                pin = Some(next_value(&mut args, "--pin")?);
+            }
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
@@ -128,6 +147,15 @@ fn parse_args() -> Result<CliArgs, String> {
     }
     if let Some(seed) = seed {
         options.seed = seed;
+    }
+    if let Some(clock) = clock {
+        options.clock = clock;
+    }
+    if let Some(layout) = table_layout {
+        options.table_layout = layout;
+    }
+    if let Some(pin) = pin {
+        options.pin = pin;
     }
     Ok(CliArgs {
         experiment,
@@ -149,8 +177,9 @@ fn next_value<T: std::str::FromStr>(
 
 fn usage() -> String {
     "usage: repro <fig2|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|fig12|fig13|table1|table2\
-     |contention|all> [--full|--huge] [--threads N] [--millis M] [--seed S] [--check-shapes] \
-     [--contention]"
+     |contention|all> [--full|--huge] [--threads N] [--millis M] [--seed S] \
+     [--clock strict|deferred] [--table-layout flat|mixed|padded|padded-mixed] \
+     [--pin none|compact|scatter] [--check-shapes] [--contention]"
         .to_string()
 }
 
@@ -171,11 +200,15 @@ fn main() -> ExitCode {
                 );
             }
             println!(
-                "# SwissTM reproduction harness — experiment '{}' ({} threads max, {:?}/point, {} profile)",
+                "# SwissTM reproduction harness — experiment '{}' ({} threads max, {:?}/point, {} profile, \
+                 clock={}, table={}, pin={})",
                 cli.experiment,
                 cli.options.max_threads,
                 cli.options.point_duration,
-                cli.options.profile.label()
+                cli.options.profile.label(),
+                cli.options.clock.label(),
+                cli.options.table_layout.label(),
+                cli.options.pin.label()
             );
             match run_experiment(&cli.experiment, &cli.options, cli.contention) {
                 Ok(()) => {

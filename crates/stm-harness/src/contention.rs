@@ -160,6 +160,9 @@ mod tests {
             heap_words: 1 << 20,
             lock_table_log2: 12,
             grain_shift: 1,
+            clock: stm_core::config::ClockMode::Strict,
+            table_layout: stm_core::config::TableLayout::Flat,
+            pin: stm_workloads::placement::PlacementPolicy::None,
             profile: SizeProfile::Quick,
             seed: 11,
         }

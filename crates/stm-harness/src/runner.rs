@@ -11,10 +11,11 @@ use std::time::Duration;
 
 use rstm::{Rstm, RstmVariant};
 use stm_core::cm::{CmHandle, Greedy, Polka, Serializer, Timid, TwoPhase};
-use stm_core::config::{HeapConfig, LockTableConfig, StmConfig};
+use stm_core::config::{ClockMode, HeapConfig, LockTableConfig, StmConfig, TableLayout};
 use stm_core::tm::TmAlgorithm;
-use stm_workloads::driver::{run_workload, RunLength, RunResult, Workload};
+use stm_workloads::driver::{run_workload_placed, RunLength, RunResult, Workload};
 use stm_workloads::lee::{LeeBoard, LeeConfig, LeeWorkload};
+use stm_workloads::placement::PlacementPolicy;
 use stm_workloads::profile::SizeProfile;
 use stm_workloads::rbtree::{RbTreeConfig, RbTreeWorkload};
 use stm_workloads::stamp::StampApp;
@@ -123,6 +124,13 @@ pub struct RunOptions {
     pub lock_table_log2: u32,
     /// Stripe granularity override (log2 words per stripe).
     pub grain_shift: u32,
+    /// Commit-clock mode (strict counter vs deferred GV5-style clock).
+    pub clock: ClockMode,
+    /// Lock-table memory layout (flat vs padded entries, optional index
+    /// mixing).
+    pub table_layout: TableLayout,
+    /// Thread-placement policy applied to the driver's workers.
+    pub pin: PlacementPolicy,
     /// Workload size profile: every benchmark family states its dataset
     /// geometry and fixed work amount per profile (see
     /// [`stm_workloads::profile`]).
@@ -140,6 +148,9 @@ impl RunOptions {
             heap_words: 1 << 21,
             lock_table_log2: 16,
             grain_shift: 1,
+            clock: ClockMode::Strict,
+            table_layout: TableLayout::Flat,
+            pin: PlacementPolicy::None,
             profile: SizeProfile::Quick,
             seed: 0x5715,
         }
@@ -154,6 +165,9 @@ impl RunOptions {
             heap_words: 1 << 24,
             lock_table_log2: 20,
             grain_shift: 1,
+            clock: ClockMode::Strict,
+            table_layout: TableLayout::Flat,
+            pin: PlacementPolicy::None,
             profile: SizeProfile::Full,
             seed: 0x5715,
         }
@@ -168,6 +182,9 @@ impl RunOptions {
             heap_words: 1 << 26,
             lock_table_log2: 22,
             grain_shift: 1,
+            clock: ClockMode::Strict,
+            table_layout: TableLayout::Flat,
+            pin: PlacementPolicy::None,
             profile: SizeProfile::Huge,
             seed: 0x5715,
         }
@@ -185,13 +202,33 @@ impl RunOptions {
             lock_table: LockTableConfig {
                 log2_entries: self.lock_table_log2,
                 grain_shift: self.grain_shift,
+                layout: self.table_layout,
             },
+            clock: self.clock,
         }
     }
 
     /// Returns a copy with a different stripe granularity.
     pub fn with_grain_shift(mut self, grain_shift: u32) -> Self {
         self.grain_shift = grain_shift;
+        self
+    }
+
+    /// Returns a copy with a different commit-clock mode.
+    pub fn with_clock(mut self, clock: ClockMode) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Returns a copy with a different lock-table layout.
+    pub fn with_table_layout(mut self, table_layout: TableLayout) -> Self {
+        self.table_layout = table_layout;
+        self
+    }
+
+    /// Returns a copy with a different thread-placement policy.
+    pub fn with_pin(mut self, pin: PlacementPolicy) -> Self {
+        self.pin = pin;
         self
     }
 }
@@ -244,43 +281,47 @@ where
                 options.seed,
             );
             let workload: Arc<dyn Workload<A>> = Arc::new(Bench7Workload::new(data, *mix));
-            run_workload(
+            run_workload_placed(
                 stm,
                 workload,
                 threads,
                 RunLength::Duration(options.point_duration),
                 options.seed,
+                options.pin,
             )
         }
         Benchmark::RbTree(config) => {
             let workload = RbTreeWorkload::setup(&stm, *config, options.seed);
-            run_workload(
+            run_workload_placed(
                 stm,
                 workload,
                 threads,
                 RunLength::Duration(options.point_duration),
                 options.seed,
+                options.pin,
             )
         }
         Benchmark::Lee(config) => {
             let workload = LeeWorkload::setup(&stm, *config, options.seed);
-            run_workload(
+            run_workload_placed(
                 stm,
                 workload,
                 threads,
                 RunLength::TotalOps(config.routes as u64),
                 options.seed,
+                options.pin,
             )
         }
         Benchmark::Stamp(app) => {
             let workload = app.build_at(&stm, options.seed, options.profile);
             let ops = app.ops_at(options.profile);
-            run_workload(
+            run_workload_placed(
                 stm,
                 workload,
                 threads,
                 RunLength::TotalOps(ops),
                 options.seed,
+                options.pin,
             )
         }
     }
@@ -337,6 +378,9 @@ mod tests {
             heap_words: 1 << 20,
             lock_table_log2: 12,
             grain_shift: 1,
+            clock: ClockMode::Strict,
+            table_layout: TableLayout::Flat,
+            pin: PlacementPolicy::None,
             profile: SizeProfile::Quick,
             seed: 7,
         }
@@ -389,6 +433,22 @@ mod tests {
         let options = tiny_options();
         assert_eq!(options.thread_counts(), vec![1, 2]);
         assert_eq!(options.with_grain_shift(4).grain_shift, 4);
+        assert_eq!(
+            options.with_clock(ClockMode::Deferred).stm_config().clock,
+            ClockMode::Deferred
+        );
+        assert_eq!(
+            options
+                .with_table_layout(TableLayout::PaddedMixed)
+                .stm_config()
+                .lock_table
+                .layout,
+            TableLayout::PaddedMixed
+        );
+        assert_eq!(
+            options.with_pin(PlacementPolicy::Compact).pin,
+            PlacementPolicy::Compact
+        );
         assert_eq!(RunOptions::full().max_threads, 8);
         assert!(RunOptions::quick().point_duration < RunOptions::full().point_duration);
         assert_eq!(RunOptions::quick().profile, SizeProfile::Quick);

@@ -17,6 +17,9 @@ fn smoke_options() -> RunOptions {
         heap_words: 1 << 20,
         lock_table_log2: 12,
         grain_shift: 1,
+        clock: stm_core::config::ClockMode::Strict,
+        table_layout: stm_core::config::TableLayout::Flat,
+        pin: stm_workloads::placement::PlacementPolicy::None,
         profile: SizeProfile::Quick,
         seed: 0x51,
     }

@@ -11,6 +11,7 @@ use stm_harness::shapes::{
     Direction, SeriesPoint, ShapeReport,
 };
 use stm_workloads::driver::RunResult;
+use stm_workloads::placement::{PlacementOutcome, PlacementPolicy};
 use stm_workloads::profile::SizeProfile;
 
 /// Builds a synthetic RunResult committing `commits` transactions over
@@ -24,6 +25,11 @@ fn synthetic_result(commits: u64, millis: u64) -> RunResult {
         operations: commits,
         elapsed,
         check_passed: true,
+        placement: PlacementOutcome {
+            policy: PlacementPolicy::None,
+            cores: 1,
+            threads: Vec::new(),
+        },
     }
 }
 
@@ -250,6 +256,9 @@ fn downscaled_sweep_through_the_check_shapes_path() {
         heap_words: 1 << 20,
         lock_table_log2: 12,
         grain_shift: 1,
+        clock: stm_core::config::ClockMode::Strict,
+        table_layout: stm_core::config::TableLayout::Flat,
+        pin: stm_workloads::placement::PlacementPolicy::None,
         profile: SizeProfile::Quick,
         seed: 0x5a,
     };

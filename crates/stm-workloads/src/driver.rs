@@ -13,6 +13,11 @@ use stm_core::backoff::FastRng;
 use stm_core::stats::{StatsAggregate, TxStats};
 use stm_core::tm::{ThreadContext, TmAlgorithm};
 
+use crate::placement::{
+    available_cores, pin_current_thread, plan_placement, PinOutcome, PlacementOutcome,
+    PlacementPolicy,
+};
+
 /// A benchmark workload: a shared, thread-safe description of the data
 /// structure plus an `execute` method performing one application-level
 /// operation (usually one transaction, sometimes a couple).
@@ -65,6 +70,10 @@ pub struct RunResult {
     pub elapsed: Duration,
     /// Whether the workload's consistency check passed.
     pub check_passed: bool,
+    /// Thread-placement record: the requested policy and, per worker, where
+    /// it was pinned (or why it was not). Pinning is best-effort, so a
+    /// degraded placement is recorded here rather than failing the run.
+    pub placement: PlacementOutcome,
 }
 
 impl RunResult {
@@ -135,7 +144,33 @@ where
     A: TmAlgorithm,
     W: Workload<A> + ?Sized + 'static,
 {
+    run_workload_placed(stm, workload, threads, length, seed, PlacementPolicy::None)
+}
+
+/// [`run_workload`] with an explicit thread-placement policy.
+///
+/// Each worker pins itself (best-effort, via [`crate::placement`]) right
+/// after registering its [`ThreadContext`] and *before* the start barrier,
+/// so pinning overhead — a `taskset` process per worker — never lands in
+/// the measurement window and every measured operation runs on the
+/// assigned core. Pin failures and unplanned threads (policy `None`, or
+/// more threads than cores) degrade gracefully: the run proceeds unpinned
+/// and the per-thread outcome is recorded in [`RunResult::placement`].
+pub fn run_workload_placed<A, W>(
+    stm: Arc<A>,
+    workload: Arc<W>,
+    threads: usize,
+    length: RunLength,
+    seed: u64,
+    policy: PlacementPolicy,
+) -> RunResult
+where
+    A: TmAlgorithm,
+    W: Workload<A> + ?Sized + 'static,
+{
     assert!(threads > 0, "at least one thread is required");
+    let cores = available_cores();
+    let plan = plan_placement(policy, threads, cores);
     let stop = Arc::new(AtomicBool::new(false));
     let shared_ops = Arc::new(AtomicU64::new(0));
     // Workers + the main (timer) thread all meet at the start barrier.
@@ -165,96 +200,104 @@ where
         }
     }
 
-    let (per_thread, elapsed): (Vec<(TxStats, u64, Instant, Instant)>, Duration) =
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for thread_index in 0..threads {
-                let stm = Arc::clone(&stm);
-                let workload = Arc::clone(&workload);
-                let stop = Arc::clone(&stop);
-                let shared_ops = Arc::clone(&shared_ops);
-                let barrier = Arc::clone(&barrier);
-                handles.push(scope.spawn(move || {
-                    let release = BarrierGuard {
-                        barrier: Arc::clone(&barrier),
-                        armed: true,
-                    };
-                    let mut ctx = ThreadContext::register(stm);
-                    workload.on_thread_start(thread_index);
-                    let mut rng = FastRng::new(
-                        seed ^ (thread_index as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15),
-                    );
-                    release.wait();
-                    // Each worker samples its own window edges: on an
-                    // oversubscribed machine the workers can run (or a
-                    // small fixed-work run even finish) before the main
-                    // thread is scheduled again, so the main thread's
-                    // clock cannot bound the window the counted
-                    // operations actually span.
-                    let started_at = Instant::now();
-                    let mut executed = 0u64;
-                    match length {
-                        RunLength::OpsPerThread(ops) => {
-                            for op_index in 0..ops {
-                                workload.execute(&mut ctx, &mut rng, op_index);
-                                executed += 1;
-                            }
-                        }
-                        RunLength::Duration(_) => {
-                            let mut op_index = 0u64;
-                            while !stop.load(Ordering::Relaxed) {
-                                workload.execute(&mut ctx, &mut rng, op_index);
-                                executed += 1;
-                                op_index += 1;
-                            }
-                        }
-                        RunLength::TotalOps(total) => loop {
-                            let op_index = shared_ops.fetch_add(1, Ordering::Relaxed);
-                            if op_index >= total {
-                                break;
-                            }
+    type WorkerSample = (TxStats, u64, Instant, Instant, PinOutcome);
+    let (per_thread, elapsed): (Vec<WorkerSample>, Duration) = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for (thread_index, &assigned_core) in plan.iter().enumerate().take(threads) {
+            let stm = Arc::clone(&stm);
+            let workload = Arc::clone(&workload);
+            let stop = Arc::clone(&stop);
+            let shared_ops = Arc::clone(&shared_ops);
+            let barrier = Arc::clone(&barrier);
+            handles.push(scope.spawn(move || {
+                let release = BarrierGuard {
+                    barrier: Arc::clone(&barrier),
+                    armed: true,
+                };
+                let mut ctx = ThreadContext::register(stm);
+                let pin = match assigned_core {
+                    Some(core) => pin_current_thread(core),
+                    None => PinOutcome::Unplanned,
+                };
+                workload.on_thread_start(thread_index);
+                let mut rng =
+                    FastRng::new(seed ^ (thread_index as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15));
+                release.wait();
+                // Each worker samples its own window edges: on an
+                // oversubscribed machine the workers can run (or a
+                // small fixed-work run even finish) before the main
+                // thread is scheduled again, so the main thread's
+                // clock cannot bound the window the counted
+                // operations actually span.
+                let started_at = Instant::now();
+                let mut executed = 0u64;
+                match length {
+                    RunLength::OpsPerThread(ops) => {
+                        for op_index in 0..ops {
                             workload.execute(&mut ctx, &mut rng, op_index);
                             executed += 1;
-                        },
+                        }
                     }
-                    let finished_at = Instant::now();
-                    (ctx.take_stats(), executed, started_at, finished_at)
-                }));
-            }
+                    RunLength::Duration(_) => {
+                        let mut op_index = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            workload.execute(&mut ctx, &mut rng, op_index);
+                            executed += 1;
+                            op_index += 1;
+                        }
+                    }
+                    RunLength::TotalOps(total) => loop {
+                        let op_index = shared_ops.fetch_add(1, Ordering::Relaxed);
+                        if op_index >= total {
+                            break;
+                        }
+                        workload.execute(&mut ctx, &mut rng, op_index);
+                        executed += 1;
+                    },
+                }
+                let finished_at = Instant::now();
+                (ctx.take_stats(), executed, started_at, finished_at, pin)
+            }));
+        }
 
-            // Release the workers; the measurement window opens here.
-            barrier.wait();
-            if let RunLength::Duration(duration) = length {
-                // The main thread is only the timer; the window itself is
-                // measured by the workers' clocks below.
-                std::thread::sleep(duration);
-                stop.store(true, Ordering::Relaxed);
-            }
+        // Release the workers; the measurement window opens here.
+        barrier.wait();
+        if let RunLength::Duration(duration) = length {
+            // The main thread is only the timer; the window itself is
+            // measured by the workers' clocks below.
+            std::thread::sleep(duration);
+            stop.store(true, Ordering::Relaxed);
+        }
 
-            let per_thread: Vec<(TxStats, u64, Instant, Instant)> = handles
-                .into_iter()
-                .map(|h| h.join().expect("benchmark worker thread panicked"))
-                .collect();
-            // The window spans the earliest worker's barrier release to the
-            // last worker's loop end — the exact interval the counted
-            // operations executed in.
-            let first_start = per_thread
-                .iter()
-                .map(|&(_, _, started_at, _)| started_at)
-                .min();
-            let last_finish = per_thread
-                .iter()
-                .map(|&(_, _, _, finished_at)| finished_at)
-                .max();
-            let elapsed = match (first_start, last_finish) {
-                (Some(start), Some(finish)) => finish.saturating_duration_since(start),
-                _ => Duration::ZERO,
-            };
-            (per_thread, elapsed)
-        });
+        let per_thread: Vec<WorkerSample> = handles
+            .into_iter()
+            .map(|h| h.join().expect("benchmark worker thread panicked"))
+            .collect();
+        // The window spans the earliest worker's barrier release to the
+        // last worker's loop end — the exact interval the counted
+        // operations executed in.
+        let first_start = per_thread
+            .iter()
+            .map(|&(_, _, started_at, _, _)| started_at)
+            .min();
+        let last_finish = per_thread
+            .iter()
+            .map(|&(_, _, _, finished_at, _)| finished_at)
+            .max();
+        let elapsed = match (first_start, last_finish) {
+            (Some(start), Some(finish)) => finish.saturating_duration_since(start),
+            _ => Duration::ZERO,
+        };
+        (per_thread, elapsed)
+    });
 
-    let operations = per_thread.iter().map(|(_, ops, _, _)| ops).sum();
-    let stats = StatsAggregate::collect(per_thread.iter().map(|(s, _, _, _)| s), elapsed);
+    let operations = per_thread.iter().map(|(_, ops, _, _, _)| ops).sum();
+    let stats = StatsAggregate::collect(per_thread.iter().map(|(s, _, _, _, _)| s), elapsed);
+    let placement = PlacementOutcome {
+        policy,
+        cores,
+        threads: per_thread.iter().map(|&(_, _, _, _, pin)| pin).collect(),
+    };
 
     // Post-run consistency check on a fresh context.
     let mut checker = ThreadContext::register(stm);
@@ -270,6 +313,7 @@ where
         operations,
         elapsed,
         check_passed,
+        placement,
     }
 }
 
@@ -548,6 +592,67 @@ mod tests {
             !workload.saw_unregistered_peer.load(Ordering::SeqCst),
             "a worker executed operations before all threads were registered"
         );
+    }
+
+    /// The default entry point never pins: every worker is recorded as
+    /// `Unplanned` and the placement is not degraded (unpinned was the
+    /// request, not a failure).
+    #[test]
+    fn default_run_records_unpinned_placement() {
+        let (stm, workload) = setup();
+        let result = run_workload(stm, workload, 2, RunLength::OpsPerThread(10), 11);
+        assert_eq!(result.placement.policy, PlacementPolicy::None);
+        assert_eq!(result.placement.threads, vec![PinOutcome::Unplanned; 2]);
+        assert_eq!(result.placement.pinned(), 0);
+        assert!(!result.placement.degraded());
+    }
+
+    /// Pinning assigns distinct cores to the threads the plan covers, and
+    /// degrades gracefully — no panic, outcome recorded in `RunResult` —
+    /// when `available_parallelism` is smaller than the thread count or
+    /// pinning is unsupported on the host. With more threads than cores
+    /// (guaranteed here by using `cores + 1` threads) at least one thread
+    /// is always left `Unplanned`, so the run is recorded as degraded.
+    #[test]
+    fn placed_run_pins_distinct_cores_and_degrades_gracefully() {
+        let cores = crate::placement::available_cores();
+        let threads = cores + 1;
+        let (stm, workload) = setup();
+        let result = run_workload_placed(
+            stm,
+            workload,
+            threads,
+            RunLength::OpsPerThread(10),
+            13,
+            PlacementPolicy::Compact,
+        );
+        let placement = &result.placement;
+        assert_eq!(placement.policy, PlacementPolicy::Compact);
+        assert_eq!(placement.cores, cores);
+        assert_eq!(placement.threads.len(), threads);
+        // Whatever the host supports, pinned threads landed on distinct
+        // in-range cores.
+        let pinned_cores: Vec<usize> = placement
+            .threads
+            .iter()
+            .filter_map(|outcome| match outcome {
+                PinOutcome::Pinned(core) => Some(*core),
+                _ => None,
+            })
+            .collect();
+        let distinct: std::collections::HashSet<_> = pinned_cores.iter().collect();
+        assert_eq!(distinct.len(), pinned_cores.len());
+        assert!(pinned_cores.iter().all(|&core| core < cores));
+        // The surplus thread was left to the scheduler, and that shortfall
+        // is what `degraded` reports.
+        assert_eq!(
+            placement.threads[cores..],
+            vec![PinOutcome::Unplanned; threads - cores]
+        );
+        assert!(placement.degraded());
+        // Degradation never compromises the run itself.
+        assert_eq!(result.operations, threads as u64 * 10);
+        assert!(result.check_passed);
     }
 
     /// Fixed-work runs measure from barrier release to the last worker's

@@ -371,6 +371,7 @@ mod tests {
         StmConfig {
             heap: HeapConfig::with_words(1 << 18),
             lock_table: LockTableConfig::small(),
+            clock: stm_core::config::ClockMode::Strict,
         }
     }
 

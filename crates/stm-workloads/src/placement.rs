@@ -1,0 +1,322 @@
+//! Thread placement: core pinning policies for the benchmark driver.
+//!
+//! The thread-and-data-mapping literature (see PAPERS.md) shows that *where*
+//! STM threads run decides how expensive the shared-state coherence traffic
+//! is: threads packed onto one socket share a last-level cache and resolve
+//! lock-table and clock lines locally, while scattered threads pay
+//! cross-socket latency for every contended line. The driver therefore
+//! supports a [`PlacementPolicy`] per run, so the fig9/fig10 contention
+//! sweeps can compare placements under identical workloads.
+//!
+//! Pinning is strictly best-effort. The workspace forbids `unsafe` and
+//! carries no FFI dependency, so the driver shells out to `taskset(1)` with
+//! the worker's kernel thread id (from `/proc/thread-self/status`) instead
+//! of calling `sched_setaffinity` directly. Wherever that is impossible —
+//! non-Linux hosts, missing `taskset`, fewer cores than threads — the run
+//! proceeds unpinned and the degradation is recorded in the
+//! [`PlacementOutcome`] the driver returns, never panicked on.
+
+use std::str::FromStr;
+
+/// How worker threads are placed on cores.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PlacementPolicy {
+    /// No pinning: the OS scheduler decides (the default).
+    #[default]
+    None,
+    /// Pack threads onto consecutive cores (`0, 1, 2, …`): neighbours share
+    /// caches, minimising the cost of contended lines.
+    Compact,
+    /// Spread threads evenly across the available cores
+    /// (`0, C/n, 2C/n, …`): maximises aggregate cache and bandwidth,
+    /// maximises the distance contended lines travel.
+    Scatter,
+}
+
+impl PlacementPolicy {
+    /// All policies, for sweeps.
+    pub const ALL: [PlacementPolicy; 3] = [
+        PlacementPolicy::None,
+        PlacementPolicy::Compact,
+        PlacementPolicy::Scatter,
+    ];
+
+    /// Short machine-friendly label used in tables and CLI flags.
+    pub const fn label(self) -> &'static str {
+        match self {
+            PlacementPolicy::None => "none",
+            PlacementPolicy::Compact => "compact",
+            PlacementPolicy::Scatter => "scatter",
+        }
+    }
+}
+
+impl FromStr for PlacementPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(PlacementPolicy::None),
+            "compact" => Ok(PlacementPolicy::Compact),
+            "scatter" => Ok(PlacementPolicy::Scatter),
+            other => Err(format!(
+                "unknown placement policy '{other}' (expected none|compact|scatter)"
+            )),
+        }
+    }
+}
+
+/// What happened to one worker thread's pin request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PinOutcome {
+    /// The thread was pinned to this core.
+    Pinned(usize),
+    /// The plan left the thread unpinned (policy `None`, or more threads
+    /// than cores).
+    Unplanned,
+    /// The pin was attempted but could not be applied (no `taskset`,
+    /// non-Linux host, permission error); the thread runs unpinned.
+    Failed,
+}
+
+/// Per-run placement record, carried in
+/// [`crate::driver::RunResult::placement`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlacementOutcome {
+    /// The requested policy.
+    pub policy: PlacementPolicy,
+    /// Cores the planner saw when the run started.
+    pub cores: usize,
+    /// One outcome per worker thread, in thread-index order.
+    pub threads: Vec<PinOutcome>,
+}
+
+impl PlacementOutcome {
+    /// Number of successfully pinned threads.
+    pub fn pinned(&self) -> usize {
+        self.threads
+            .iter()
+            .filter(|outcome| matches!(outcome, PinOutcome::Pinned(_)))
+            .count()
+    }
+
+    /// Number of threads whose pin attempt failed.
+    pub fn failed(&self) -> usize {
+        self.threads
+            .iter()
+            .filter(|&&outcome| outcome == PinOutcome::Failed)
+            .count()
+    }
+
+    /// `true` when a non-`None` policy could not be applied in full (too
+    /// few cores, or pinning unsupported on this host).
+    pub fn degraded(&self) -> bool {
+        self.policy != PlacementPolicy::None
+            && self
+                .threads
+                .iter()
+                .any(|&outcome| !matches!(outcome, PinOutcome::Pinned(_)))
+    }
+}
+
+/// Plans the core assignment for `threads` workers on `cores` cores.
+///
+/// Pure and deterministic so the policies are unit-testable without
+/// touching the host: `assignments[i]` is the core for worker `i`, `None`
+/// meaning "leave unpinned". Cores are never oversubscribed — when there
+/// are more threads than cores, the surplus threads stay unpinned (and the
+/// driver records the degradation) rather than stacking on busy cores
+/// behind the measurement's back.
+pub fn plan_placement(policy: PlacementPolicy, threads: usize, cores: usize) -> Vec<Option<usize>> {
+    match policy {
+        PlacementPolicy::None => vec![None; threads],
+        PlacementPolicy::Compact => (0..threads).map(|i| (i < cores).then_some(i)).collect(),
+        PlacementPolicy::Scatter => (0..threads)
+            .map(|i| (i < cores).then(|| i * cores / threads.min(cores).max(1)))
+            .collect(),
+    }
+}
+
+/// Number of cores the planner should assume (1 if the host won't say).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The calling thread's kernel thread id, read from
+/// `/proc/thread-self/status` (the `Pid:` line is per-thread there).
+/// `None` on hosts without a Linux-style procfs.
+fn current_thread_id() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/thread-self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Pid:"))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
+/// Upper bound on core indices handed to `taskset`. The Linux kernel caps
+/// `CONFIG_NR_CPUS` at 8192; beyond that the index is garbage, and some
+/// util-linux builds spin forever sizing a cpumask for an absurd CPU
+/// number instead of rejecting it — so the bound must be enforced *before*
+/// spawning the child.
+const MAX_CORE_INDEX: usize = 8192;
+
+/// Best-effort pin of the calling thread to `core` via `taskset(1)`.
+pub fn pin_current_thread(core: usize) -> PinOutcome {
+    if core >= MAX_CORE_INDEX {
+        return PinOutcome::Failed;
+    }
+    let Some(tid) = current_thread_id() else {
+        return PinOutcome::Failed;
+    };
+    let applied = std::process::Command::new("taskset")
+        .arg("-p")
+        .arg("-c")
+        .arg(core.to_string())
+        .arg(tid.to_string())
+        .output()
+        .map(|output| output.status.success())
+        .unwrap_or(false);
+    if applied {
+        PinOutcome::Pinned(core)
+    } else {
+        PinOutcome::Failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_policy_plans_no_pins() {
+        assert_eq!(
+            plan_placement(PlacementPolicy::None, 3, 8),
+            vec![None, None, None]
+        );
+    }
+
+    #[test]
+    fn compact_assigns_distinct_consecutive_cores() {
+        assert_eq!(
+            plan_placement(PlacementPolicy::Compact, 4, 8),
+            vec![Some(0), Some(1), Some(2), Some(3)]
+        );
+    }
+
+    #[test]
+    fn scatter_assigns_distinct_spread_cores() {
+        assert_eq!(
+            plan_placement(PlacementPolicy::Scatter, 4, 8),
+            vec![Some(0), Some(2), Some(4), Some(6)]
+        );
+        // With as many threads as cores the two policies coincide.
+        assert_eq!(
+            plan_placement(PlacementPolicy::Scatter, 4, 4),
+            plan_placement(PlacementPolicy::Compact, 4, 4)
+        );
+    }
+
+    #[test]
+    fn plans_never_double_book_a_core() {
+        for policy in [PlacementPolicy::Compact, PlacementPolicy::Scatter] {
+            for (threads, cores) in [(1, 1), (2, 8), (5, 8), (8, 8), (7, 3)] {
+                let plan = plan_placement(policy, threads, cores);
+                assert_eq!(plan.len(), threads);
+                let assigned: Vec<usize> = plan.iter().flatten().copied().collect();
+                let distinct: std::collections::HashSet<_> = assigned.iter().collect();
+                assert_eq!(
+                    distinct.len(),
+                    assigned.len(),
+                    "{policy:?} {threads}x{cores} double-books: {plan:?}"
+                );
+                assert!(
+                    assigned.iter().all(|&core| core < cores),
+                    "{policy:?} {threads}x{cores} out of range: {plan:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversubscription_degrades_to_unpinned_threads() {
+        // More threads than cores: the surplus is left to the scheduler,
+        // not stacked — the driver records this as a degraded placement.
+        let plan = plan_placement(PlacementPolicy::Compact, 4, 2);
+        assert_eq!(plan, vec![Some(0), Some(1), None, None]);
+        let plan = plan_placement(PlacementPolicy::Scatter, 4, 2);
+        assert_eq!(plan[2..], [None, None]);
+    }
+
+    #[test]
+    fn outcome_counts_and_degradation() {
+        let outcome = PlacementOutcome {
+            policy: PlacementPolicy::Compact,
+            cores: 2,
+            threads: vec![
+                PinOutcome::Pinned(0),
+                PinOutcome::Failed,
+                PinOutcome::Unplanned,
+            ],
+        };
+        assert_eq!(outcome.pinned(), 1);
+        assert_eq!(outcome.failed(), 1);
+        assert!(outcome.degraded());
+
+        let clean = PlacementOutcome {
+            policy: PlacementPolicy::Scatter,
+            cores: 8,
+            threads: vec![PinOutcome::Pinned(0), PinOutcome::Pinned(4)],
+        };
+        assert!(!clean.degraded());
+
+        let unpinned_by_choice = PlacementOutcome {
+            policy: PlacementPolicy::None,
+            cores: 1,
+            threads: vec![PinOutcome::Unplanned; 4],
+        };
+        assert!(
+            !unpinned_by_choice.degraded(),
+            "policy none is never degraded"
+        );
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for policy in PlacementPolicy::ALL {
+            assert_eq!(policy.label().parse::<PlacementPolicy>().unwrap(), policy);
+        }
+        assert!("numa".parse::<PlacementPolicy>().is_err());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn thread_ids_are_per_thread_on_linux() {
+        let main_tid = current_thread_id().expect("procfs available");
+        let worker_tid = std::thread::spawn(|| current_thread_id().expect("procfs available"))
+            .join()
+            .unwrap();
+        assert_ne!(main_tid, worker_tid, "Pid: in thread-self is the tid");
+    }
+
+    /// Pinning is best-effort by contract: whatever the host supports, the
+    /// call must return an outcome instead of panicking. On a Linux host
+    /// with `taskset`, pinning to core 0 (always present) must succeed.
+    #[test]
+    fn pin_current_thread_never_panics() {
+        let outcome = pin_current_thread(0);
+        if cfg!(target_os = "linux") && std::path::Path::new("/usr/bin/taskset").exists() {
+            assert_eq!(outcome, PinOutcome::Pinned(0));
+        } else {
+            assert!(matches!(
+                outcome,
+                PinOutcome::Pinned(0) | PinOutcome::Failed
+            ));
+        }
+        // An impossible core must report failure, not panic — and without
+        // spawning taskset at all (util-linux can hang on absurd masks).
+        assert_eq!(pin_current_thread(usize::MAX), PinOutcome::Failed);
+        assert_eq!(pin_current_thread(MAX_CORE_INDEX), PinOutcome::Failed);
+    }
+}

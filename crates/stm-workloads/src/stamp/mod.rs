@@ -189,6 +189,7 @@ mod tests {
         StmConfig {
             heap: HeapConfig::with_words(1 << 21),
             lock_table: LockTableConfig::small(),
+            clock: stm_core::config::ClockMode::Strict,
         }
     }
 

@@ -36,6 +36,7 @@ mod tests {
         StmConfig {
             heap: HeapConfig::with_words(1 << 20),
             lock_table: LockTableConfig::small(),
+            clock: stm_core::config::ClockMode::Strict,
         }
     }
 

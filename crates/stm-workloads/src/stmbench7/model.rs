@@ -428,6 +428,7 @@ mod tests {
         Arc::new(SwissTm::with_config(StmConfig {
             heap: HeapConfig::with_words(1 << 20),
             lock_table: LockTableConfig::small(),
+            clock: stm_core::config::ClockMode::Strict,
         }))
     }
 

@@ -465,6 +465,7 @@ mod tests {
         let stm = Arc::new(SwissTm::with_config(StmConfig {
             heap: HeapConfig::with_words(1 << 20),
             lock_table: LockTableConfig::small(),
+            clock: stm_core::config::ClockMode::Strict,
         }));
         let data = Bench7Data::build(&stm, Bench7Config::tiny(), 17);
         (

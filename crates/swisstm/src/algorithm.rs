@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use stm_core::clock::{GlobalClock, ThreadRegistry, ThreadSlot, TxShared};
+use stm_core::clock::{ThreadRegistry, ThreadSlot, TxClock, TxShared};
 use stm_core::cm::{CmHandle, ContentionManager, Resolution, TwoPhase};
 use stm_core::config::StmConfig;
 use stm_core::error::{Abort, TxResult};
@@ -57,7 +57,7 @@ impl SwissTmBuilder {
             heap: TmHeap::new(self.config.heap),
             registry: ThreadRegistry::new(),
             lock_table: LockTable::new(self.config.lock_table),
-            commit_ts: GlobalClock::new(),
+            commit_ts: TxClock::new(self.config.clock),
             cm,
         }
     }
@@ -79,7 +79,7 @@ pub struct SwissTm {
     heap: TmHeap,
     registry: ThreadRegistry,
     lock_table: LockTable<StripeEntry>,
-    commit_ts: GlobalClock,
+    commit_ts: TxClock,
     cm: CmHandle,
 }
 
@@ -114,6 +114,11 @@ impl SwissTm {
     /// Current value of the global commit counter.
     pub fn commit_timestamp(&self) -> u64 {
         self.commit_ts.read()
+    }
+
+    /// The configured commit-clock mode.
+    pub fn clock_mode(&self) -> stm_core::config::ClockMode {
+        self.commit_ts.mode()
     }
 
     /// The lock-table stripe granularity (log2 words per stripe).
@@ -327,8 +332,13 @@ impl TmAlgorithm for SwissTm {
         desc.read_log.push(lock_index, version);
         self.cm.on_read(&desc.core.shared, desc.read_log.len());
 
-        if version > desc.valid_ts && !self.extend(desc) {
-            return Err(self.doom(desc, Abort::READ_VALIDATION));
+        if version > desc.valid_ts {
+            // Fold the fresh version into a deferred clock before extending,
+            // so the new snapshot reaches at least this stripe's version.
+            self.commit_ts.observe(version);
+            if !self.extend(desc) {
+                return Err(self.doom(desc, Abort::READ_VALIDATION));
+            }
         }
         Ok(value)
     }
@@ -418,8 +428,11 @@ impl TmAlgorithm for SwissTm {
 
         // Preserve opacity: if the stripe moved past our snapshot we must be
         // able to extend, otherwise the transaction is inconsistent.
-        if version > desc.valid_ts && !self.extend(desc) {
-            return Err(self.doom(desc, Abort::READ_VALIDATION));
+        if version > desc.valid_ts {
+            self.commit_ts.observe(version);
+            if !self.extend(desc) {
+                return Err(self.doom(desc, Abort::READ_VALIDATION));
+            }
         }
         Ok(())
     }
@@ -444,9 +457,13 @@ impl TmAlgorithm for SwissTm {
             self.lock_table.entry_at(stripe.lock_index).lock_read();
         }
 
-        let ts = self.commit_ts.increment_and_get();
+        // The stamp is taken after the read locks above are held: a
+        // deferred clock's committer-side fence sits between those lock
+        // stores and its clock read (see `TxClock`).
+        let stamp = self.commit_ts.commit_stamp(desc.valid_ts);
+        let ts = stamp.ts;
 
-        if ts > desc.valid_ts + 1 && !self.validate(desc) {
+        if stamp.needs_validation() && !self.validate(desc) {
             // Restore read-lock versions, release write locks and abort.
             for stripe in desc.write_log.stripes() {
                 self.lock_table

@@ -39,7 +39,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use stm_core::clock::{GlobalClock, ThreadRegistry, ThreadSlot, TxShared};
+use stm_core::clock::{ThreadRegistry, ThreadSlot, TxClock, TxShared};
 use stm_core::cm::{CmHandle, ContentionManager, Resolution, Timid};
 use stm_core::config::StmConfig;
 use stm_core::error::{Abort, TxResult};
@@ -198,7 +198,7 @@ impl TinyStmBuilder {
             heap: TmHeap::new(self.config.heap),
             registry: ThreadRegistry::new(),
             lock_table: LockTable::new(self.config.lock_table),
-            clock: GlobalClock::new(),
+            clock: TxClock::new(self.config.clock),
             cm: self.cm.unwrap_or_else(|| Arc::new(Timid::new())),
         }
     }
@@ -215,7 +215,7 @@ pub struct TinyStm {
     heap: TmHeap,
     registry: ThreadRegistry,
     lock_table: LockTable<OwnedLock>,
-    clock: GlobalClock,
+    clock: TxClock,
     cm: CmHandle,
 }
 
@@ -248,6 +248,11 @@ impl TinyStm {
     /// Current value of the global clock.
     pub fn clock_value(&self) -> u64 {
         self.clock.read()
+    }
+
+    /// The configured commit-clock mode.
+    pub fn clock_mode(&self) -> stm_core::config::ClockMode {
+        self.clock.mode()
     }
 
     /// The lock table, exposed for diagnostics and for deterministic
@@ -419,8 +424,13 @@ impl TmAlgorithm for TinyStm {
         desc.read_log.push(lock_index, version);
         self.cm.on_read(&desc.core.shared, desc.read_log.len());
 
-        if version > desc.valid_ts && !self.extend(desc) {
-            return Err(self.doom(desc, Abort::READ_VALIDATION));
+        if version > desc.valid_ts {
+            // Fold the fresh version into a deferred clock before extending,
+            // so the new snapshot reaches at least this stripe's version.
+            self.clock.observe(version);
+            if !self.extend(desc) {
+                return Err(self.doom(desc, Abort::READ_VALIDATION));
+            }
         }
         Ok(value)
     }
@@ -487,8 +497,11 @@ impl TmAlgorithm for TinyStm {
         self.cm
             .on_write(&desc.core.shared, desc.write_log.stripe_count());
 
-        if version > desc.valid_ts && !self.extend(desc) {
-            return Err(self.doom(desc, Abort::READ_VALIDATION));
+        if version > desc.valid_ts {
+            self.clock.observe(version);
+            if !self.extend(desc) {
+                return Err(self.doom(desc, Abort::READ_VALIDATION));
+            }
         }
         Ok(())
     }
@@ -505,8 +518,12 @@ impl TmAlgorithm for TinyStm {
             return Ok(());
         }
 
-        let ts = self.clock.increment_and_get();
-        if ts > desc.valid_ts + 1 && !self.validate(desc) {
+        // Stamped with the whole write set already owned (encounter-time
+        // locking): a deferred clock's committer-side fence sits between
+        // those acquisitions and its clock read (see `TxClock`).
+        let stamp = self.clock.commit_stamp(desc.valid_ts);
+        let ts = stamp.ts;
+        if stamp.needs_validation() && !self.validate(desc) {
             return Err(self.doom(desc, Abort::READ_VALIDATION));
         }
 

@@ -43,7 +43,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use stm_core::clock::{GlobalClock, ThreadRegistry, ThreadSlot, TxShared};
+use stm_core::clock::{ThreadRegistry, ThreadSlot, TxClock, TxShared};
 use stm_core::cm::{CmHandle, ContentionManager, Resolution, Timid};
 use stm_core::config::StmConfig;
 use stm_core::error::{Abort, TxResult};
@@ -199,7 +199,7 @@ impl Tl2Builder {
             heap: TmHeap::new(self.config.heap),
             registry: ThreadRegistry::new(),
             lock_table: LockTable::new(self.config.lock_table),
-            clock: GlobalClock::new(),
+            clock: TxClock::new(self.config.clock),
             cm: self.cm.unwrap_or_else(|| Arc::new(Timid::new())),
         }
     }
@@ -216,7 +216,7 @@ pub struct Tl2 {
     heap: TmHeap,
     registry: ThreadRegistry,
     lock_table: LockTable<VersionedLock>,
-    clock: GlobalClock,
+    clock: TxClock,
     cm: CmHandle,
 }
 
@@ -258,6 +258,11 @@ impl Tl2 {
         self.clock.read()
     }
 
+    /// The configured commit-clock mode.
+    pub fn clock_mode(&self) -> stm_core::config::ClockMode {
+        self.clock.mode()
+    }
+
     fn shared_of(&self, slot: ThreadSlot) -> &Arc<TxShared> {
         self.registry.shared(slot)
     }
@@ -271,6 +276,10 @@ impl Tl2 {
             match lock.state() {
                 LockState::Free { version } => {
                     if version > desc.rv {
+                        // Classic GV5 catch-up: fold the too-new version
+                        // into a deferred clock so the retry's snapshot
+                        // covers it (no-op for the strict clock).
+                        self.clock.observe(version);
                         return false;
                     }
                 }
@@ -436,6 +445,9 @@ impl TmAlgorithm for Tl2 {
             }
         };
         if pre != post || version > desc.rv {
+            // GV5 catch-up before aborting, so the retry starts with a
+            // snapshot that covers the version we just tripped over.
+            self.clock.observe(version);
             return Err(self.doom(desc, Abort::READ_VALIDATION));
         }
 
@@ -487,10 +499,14 @@ impl TmAlgorithm for Tl2 {
             return Err(self.doom(desc, abort));
         }
 
-        let wv = self.clock.increment_and_get();
+        // Stamped after the write set is locked: a deferred clock's
+        // committer-side fence sits between the lock stores above and its
+        // clock read (see `TxClock`).
+        let stamp = self.clock.commit_stamp(desc.rv);
+        let wv = stamp.ts;
 
         // Validate the read set unless nothing could have changed.
-        if wv > desc.rv + 1 && !self.validate(desc) {
+        if stamp.needs_validation() && !self.validate(desc) {
             return Err(self.doom(desc, Abort::READ_VALIDATION));
         }
 

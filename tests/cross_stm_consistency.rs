@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use stm_core::backoff::FastRng;
-use stm_core::config::StmConfig;
+use stm_core::config::{ClockMode, StmConfig, TableLayout};
 use stm_core::tm::{ThreadContext, TmAlgorithm};
 use stm_core::word::Addr;
 use stm_workloads::structures::{HashMap, Queue, RbTree, SortedList};
@@ -18,12 +18,17 @@ fn config() -> StmConfig {
     StmConfig::small()
 }
 
-/// Runs `test` against all four STM implementations.
+/// Runs `test` against all four STM implementations under `config`.
+fn for_all_stms_with(config: StmConfig, test: impl Fn(Arc<dyn ErasedStm>)) {
+    test(Arc::new(Erased(Arc::new(SwissTm::with_config(config)))));
+    test(Arc::new(Erased(Arc::new(Tl2::with_config(config)))));
+    test(Arc::new(Erased(Arc::new(TinyStm::with_config(config)))));
+    test(Arc::new(Erased(Arc::new(Rstm::with_config(config)))));
+}
+
+/// Runs `test` against all four STM implementations (default config).
 fn for_all_stms(test: impl Fn(Arc<dyn ErasedStm>)) {
-    test(Arc::new(Erased(Arc::new(SwissTm::with_config(config())))));
-    test(Arc::new(Erased(Arc::new(Tl2::with_config(config())))));
-    test(Arc::new(Erased(Arc::new(TinyStm::with_config(config())))));
-    test(Arc::new(Erased(Arc::new(Rstm::with_config(config())))));
+    for_all_stms_with(config(), test);
 }
 
 /// A tiny object-safe wrapper so the same test body can drive any algorithm
@@ -33,6 +38,9 @@ trait ErasedStm: Send + Sync {
     fn counter_stress(&self, threads: usize, increments: u64) -> u64;
     fn bank_stress(&self, threads: usize, transfers: u64) -> (u64, u64);
     fn tree_stress(&self, keys: u64) -> (bool, u64);
+    /// Writer keeps two words equal; readers assert they never differ.
+    /// Panics inside a worker (and therefore fails the test) on a torn read.
+    fn pair_audit(&self, rounds: u64);
 }
 
 struct Erased<A: TmAlgorithm>(Arc<A>);
@@ -122,6 +130,36 @@ impl<A: TmAlgorithm> ErasedStm for Erased<A> {
         let len = ctx.atomically(|tx| tree.len(tx)).unwrap();
         (ok, len)
     }
+
+    fn pair_audit(&self, rounds: u64) {
+        let stm = &self.0;
+        let pair = stm.heap().alloc_zeroed(2).unwrap();
+        std::thread::scope(|scope| {
+            let writer_stm = Arc::clone(stm);
+            scope.spawn(move || {
+                let mut ctx = ThreadContext::register(writer_stm);
+                for i in 1..=rounds {
+                    ctx.atomically(|tx| {
+                        tx.write(pair, i)?;
+                        tx.write(pair.offset(1), i)
+                    })
+                    .unwrap();
+                }
+            });
+            for _ in 0..2 {
+                let reader_stm = Arc::clone(stm);
+                scope.spawn(move || {
+                    let mut ctx = ThreadContext::register(reader_stm);
+                    for _ in 0..rounds {
+                        let (a, b) = ctx
+                            .atomically(|tx| Ok((tx.read(pair)?, tx.read(pair.offset(1))?)))
+                            .unwrap();
+                        assert_eq!(a, b, "torn read observed");
+                    }
+                });
+            }
+        });
+    }
 }
 
 #[test]
@@ -206,45 +244,53 @@ fn data_structures_compose_within_one_transaction() {
 fn opacity_auditor_never_sees_torn_state() {
     // A writer keeps two words equal; concurrent readers must never observe
     // them differing (this is the paper's opacity guarantee, §3.1).
-    for_all_stms(|stm_erased| {
-        let name = stm_erased.name();
-        // Only run the generic body through the erased counter API when the
-        // algorithm is exercised above; the pairwise invariant is checked on
-        // SwissTM and TL2 below.
-        let _ = name;
-    });
+    for_all_stms(|stm| stm.pair_audit(500));
+}
 
-    fn check_on<A: TmAlgorithm>(stm: Arc<A>) {
-        let pair = stm.heap().alloc_zeroed(2).unwrap();
-        std::thread::scope(|scope| {
-            let writer_stm = Arc::clone(&stm);
-            scope.spawn(move || {
-                let mut ctx = ThreadContext::register(writer_stm);
-                for i in 1..=500u64 {
-                    ctx.atomically(|tx| {
-                        tx.write(pair, i)?;
-                        tx.write(pair.offset(1), i)
-                    })
-                    .unwrap();
-                }
+/// Clock-mode and table-layout conformance: the money-transfer and
+/// invariant stress bodies above must pass on every
+/// (STM × clock mode × table layout) combination. The deferred clock and
+/// the padded/mixed table layouts change how versions are stamped and
+/// where lock words live, but never what a transaction may observe —
+/// this matrix pins that contract for all four algorithms at once.
+#[test]
+fn conformance_matrix_over_clock_modes_and_table_layouts() {
+    for clock in ClockMode::ALL {
+        for layout in TableLayout::ALL {
+            let config = StmConfig::small()
+                .with_clock(clock)
+                .with_table_layout(layout);
+            for_all_stms_with(config, |stm| {
+                let label = format!(
+                    "{} under clock={} layout={}",
+                    stm.name(),
+                    clock.label(),
+                    layout.label()
+                );
+                let total = stm.counter_stress(3, 120);
+                assert_eq!(total, 360, "lost updates on {label}");
+                let (total, expected) = stm.bank_stress(3, 150);
+                assert_eq!(total, expected, "money created/destroyed on {label}");
+                let (ok, len) = stm.tree_stress(24);
+                assert!(ok, "red-black invariants violated on {label}");
+                assert_eq!(len, 4 * (24 - 6), "wrong tree size on {label}");
             });
-            for _ in 0..2 {
-                let reader_stm = Arc::clone(&stm);
-                scope.spawn(move || {
-                    let mut ctx = ThreadContext::register(reader_stm);
-                    for _ in 0..500 {
-                        let (a, b) = ctx
-                            .atomically(|tx| Ok((tx.read(pair)?, tx.read(pair.offset(1))?)))
-                            .unwrap();
-                        assert_eq!(a, b, "torn read observed");
-                    }
-                });
-            }
-        });
+        }
     }
+}
 
-    check_on(Arc::new(SwissTm::with_config(config())));
-    check_on(Arc::new(Tl2::with_config(config())));
-    check_on(Arc::new(TinyStm::with_config(config())));
-    check_on(Arc::new(Rstm::with_config(config())));
+/// The opacity auditor across the same matrix: the deferred clock's
+/// fence-based revalidation (see `stm_core::clock::TxClock`) is exactly
+/// what keeps a straggler committer from exposing a mixed snapshot, so the
+/// torn-state audit is the test most likely to catch a regression there.
+#[test]
+fn opacity_holds_under_every_clock_mode_and_layout() {
+    for clock in ClockMode::ALL {
+        for layout in [TableLayout::Flat, TableLayout::PaddedMixed] {
+            let config = StmConfig::small()
+                .with_clock(clock)
+                .with_table_layout(layout);
+            for_all_stms_with(config, |stm| stm.pair_audit(300));
+        }
+    }
 }

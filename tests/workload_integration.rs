@@ -20,6 +20,7 @@ fn config() -> StmConfig {
     StmConfig {
         heap: HeapConfig::with_words(1 << 21),
         lock_table: LockTableConfig::small(),
+        clock: stm_core::config::ClockMode::Strict,
     }
 }
 
