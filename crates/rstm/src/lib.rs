@@ -50,8 +50,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use stm_core::sync::{AtomicU64, Ordering};
 
 use stm_core::clock::{ThreadRegistry, ThreadSlot, TxClock, TxShared};
 use stm_core::cm::{CmHandle, ContentionManager, Polka, Resolution};
@@ -165,6 +165,8 @@ impl ObjectHeader {
     /// Current owner, if any.
     #[inline]
     pub fn owner(&self) -> Option<ThreadSlot> {
+        // sync: Acquire so whoever sees an owner tag also sees that
+        // owner's descriptor state (pairs with try_acquire's Release).
         match self.owner.load(Ordering::Acquire) {
             0 => None,
             tag => Some(ThreadSlot::new((tag - 1) as usize)),
@@ -174,6 +176,7 @@ impl ObjectHeader {
     /// Returns `true` if `slot` owns this object.
     #[inline]
     pub fn is_owned_by(&self, slot: ThreadSlot) -> bool {
+        // sync: Acquire, same edge as owner().
         self.owner.load(Ordering::Acquire) == Self::owner_tag(slot)
     }
 
@@ -184,6 +187,10 @@ impl ObjectHeader {
             .compare_exchange(
                 0,
                 Self::owner_tag(slot),
+                // sync: AcqRel on success — Acquire orders the new owner
+                // after the previous release, Release publishes ownership
+                // to conflicting transactions; Acquire on failure because
+                // the loser reads the winner's tag to fight or wait.
                 Ordering::AcqRel,
                 Ordering::Acquire,
             )
@@ -193,12 +200,18 @@ impl ObjectHeader {
     /// Releases ownership.
     #[inline]
     pub fn release(&self) {
+        // sync: Release so the next acquirer sees the previous owner's
+        // write-back (eager) or abandoned state (abort) before free.
         self.owner.store(0, Ordering::Release);
     }
 
     /// Registers `slot` as a visible reader.
     #[inline]
     pub fn add_reader(&self, slot: ThreadSlot) {
+        // sync: AcqRel RMW — registration must be ordered against a
+        // concurrent writer's readers() scan: either the writer sees this
+        // reader's bit, or this reader's subsequent version check sees the
+        // writer's acquisition.
         self.readers.fetch_or(1 << slot.index(), Ordering::AcqRel);
     }
 
@@ -206,18 +219,23 @@ impl ObjectHeader {
     #[inline]
     pub fn remove_reader(&self, slot: ThreadSlot) {
         self.readers
+            // sync: AcqRel RMW, mirror of add_reader().
             .fetch_and(!(1 << slot.index()), Ordering::AcqRel);
     }
 
     /// Snapshot of the visible-reader bitmap.
     #[inline]
     pub fn readers(&self) -> u64 {
+        // sync: Acquire pairs with add_reader's RMW so a writer that saw
+        // the bitmap empty is ordered after the readers' deregistrations.
         self.readers.load(Ordering::Acquire)
     }
 
     /// Raw sample of the versioned lock.
     #[inline]
     pub fn version_raw(&self) -> u64 {
+        // sync: Acquire pairs with publish_version's Release — observing
+        // version v implies observing the write-back v stamps.
         self.version.load(Ordering::Acquire)
     }
 
@@ -235,12 +253,16 @@ impl ObjectHeader {
     /// Marks the object as being written back.
     #[inline]
     pub fn lock_version(&self) {
+        // sync: Release — only the object's owner stores here; readers
+        // spinning on the locked marker re-sample with Acquire.
         self.version.store(1, Ordering::Release);
     }
 
     /// Publishes a new version (unlocking the write-back lock).
     #[inline]
     pub fn publish_version(&self, version: u64) {
+        // sync: Release publishes the installed updates before the new
+        // version becomes visible (pairs with version_raw's Acquire).
         self.version.store(version << 1, Ordering::Release);
     }
 }
@@ -448,7 +470,7 @@ impl Rstm {
         match telemetry::resolve_recorded(&*self.cm, &desc.core.shared, owner_shared, site) {
             Resolution::AbortSelf => Err(kind),
             Resolution::AbortOther | Resolution::Wait => {
-                std::hint::spin_loop();
+                stm_core::sync::spin_loop();
                 Ok(())
             }
         }
@@ -680,7 +702,7 @@ impl TmAlgorithm for Rstm {
                 if desc.core.shared.abort_requested() {
                     return Err(self.doom(desc, Abort::REMOTE));
                 }
-                std::hint::spin_loop();
+                stm_core::sync::spin_loop();
                 continue;
             }
             let value = self.heap.load(addr);
@@ -691,7 +713,7 @@ impl TmAlgorithm for Rstm {
             if desc.core.shared.abort_requested() {
                 return Err(self.doom(desc, Abort::REMOTE));
             }
-            std::hint::spin_loop();
+            stm_core::sync::spin_loop();
         };
 
         desc.read_log.push(lock_index, version);
@@ -779,20 +801,40 @@ impl TmAlgorithm for Rstm {
             }
         }
 
-        // Stamped after the whole write set is acquired (eagerly during
-        // execution or in the lazy loop above): a deferred clock's
-        // committer-side fence sits between those acquisitions and its
-        // clock read (see `TxClock`).
-        let stamp = self.commit_counter.commit_stamp(desc.valid_ts);
-        let ts = stamp.ts;
-        if stamp.needs_validation() && !self.validate(desc) {
-            return Err(self.doom(desc, Abort::READ_VALIDATION));
-        }
-
-        // Install the updates under the per-object write-back locks.
+        // sync: the write-back locks must be taken *before* the clock is
+        // stamped. The clock stamp is an AcqRel RMW, so a rival whose
+        // begin-time snapshot (Acquire clock read) covers our stamp also
+        // observes these locked version words — it can never sample a
+        // consistent pre-commit version/value pair for an object we are
+        // about to overwrite and then skip validation because its stamp
+        // lands directly after ours. The owner word alone does not give
+        // that guarantee here: the invisible read path samples only the
+        // version word. (Locking after validation used to be safe under
+        // SC; the model checker's lost-update scenario found the C11-level
+        // window — see crates/stm-model-tests/tests/lost_update.rs.)
         for stripe in desc.acquired.iter() {
             self.objects.entry_at(stripe.lock_index).lock_version();
         }
+
+        // Stamped after the whole write set is acquired and version-locked:
+        // a deferred clock's committer-side fence sits between those
+        // acquisitions and its clock read (see `TxClock`).
+        let stamp = self.commit_counter.commit_stamp(desc.valid_ts);
+        let ts = stamp.ts;
+        if stamp.needs_validation() && !self.validate(desc) {
+            // Unlock the write-back locks at their acquisition-time
+            // versions before rolling back: `release_everything` only
+            // frees the owner words, and a version word left locked would
+            // park every future reader of the stripe forever.
+            for stripe in desc.acquired.iter() {
+                self.objects
+                    .entry_at(stripe.lock_index)
+                    .publish_version(stripe.version);
+            }
+            return Err(self.doom(desc, Abort::READ_VALIDATION));
+        }
+
+        // Install the updates under the already-held write-back locks.
         for entry in desc.write_log.iter() {
             self.heap.store(entry.addr, entry.value);
         }

@@ -8,6 +8,7 @@
 //! conflicting owner. Both are provided here.
 
 use std::cell::Cell;
+#[cfg(not(stm_model))]
 use std::hint;
 
 /// Number of spin iterations in one back-off "unit".
@@ -37,8 +38,17 @@ fn thread_seed() -> u64 {
 }
 
 /// Spins for `iterations` relaxed spin-loop hints.
+///
+/// Under the model checker (`--cfg stm_model`) this is a no-op: backoff
+/// burns wall-clock time to dodge contention, which is meaningless when the
+/// scheduler already enumerates every interleaving — and a bounded busy
+/// loop is not a schedule point, so spinning here would only slow the DFS
+/// down without adding explored states.
 #[inline]
 pub fn spin(iterations: u64) {
+    #[cfg(stm_model)]
+    let _ = iterations;
+    #[cfg(not(stm_model))]
     for _ in 0..iterations {
         hint::spin_loop();
     }

@@ -14,8 +14,9 @@
 //!   victim), which is how the reproduction expresses the paper's
 //!   `abort(lock-owner)` without raw pointers.
 
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+use crate::sync::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use crate::config::ClockMode;
 use crate::error::StmError;
@@ -45,6 +46,9 @@ impl GlobalClock {
     /// Reads the current clock value.
     #[inline]
     pub fn read(&self) -> u64 {
+        // sync: Acquire pairs with the Release half of the committer RMWs
+        // below — a reader that observes clock value v also observes every
+        // stripe version published before the commit that produced v.
         self.value.load(Ordering::Acquire)
     }
 
@@ -52,6 +56,10 @@ impl GlobalClock {
     /// (`increment&get` in the paper's pseudo-code).
     #[inline]
     pub fn increment_and_get(&self) -> u64 {
+        // sync: AcqRel — Release publishes the committer's locked write set
+        // to any reader whose snapshot observes the new value; Acquire
+        // orders the committer after every earlier commit (this RMW is the
+        // strict clock's only synchronisation edge, see the TxClock docs).
         self.value.fetch_add(1, Ordering::AcqRel) + 1
     }
 
@@ -59,11 +67,17 @@ impl GlobalClock {
     /// resulting value. Used by TL2-style GV clocks when adopting a
     /// timestamp observed elsewhere.
     pub fn advance_to(&self, target: u64) -> u64 {
+        // sync: Acquire — same reader edge as read(); the CAS below retries
+        // from the observed value, so a stale first load only costs a loop.
         let mut current = self.value.load(Ordering::Acquire);
         while current < target {
             match self.value.compare_exchange_weak(
                 current,
                 target,
+                // sync: AcqRel on success for the same publish edge as
+                // increment_and_get; Acquire on failure because the
+                // observed value seeds the next retry and may be returned
+                // to a reader as its snapshot.
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
@@ -181,6 +195,12 @@ impl TxClock {
     pub fn read(&self) -> u64 {
         let snapshot = self.clock.read();
         if self.mode == ClockMode::Deferred {
+            // sync: SeqCst reader fence, paired with the committer fence in
+            // commit_stamp. In the SC total order one of the pair is first:
+            // either the reader's validation sees the committer's write-set
+            // locks, or the committer's clock read sees >= the reader's
+            // snapshot and stamps beyond it. Model-checked by
+            // deferred_clock.rs in stm-model-tests.
             fence(Ordering::SeqCst);
         }
         snapshot
@@ -203,6 +223,9 @@ impl TxClock {
                 }
             }
             ClockMode::Deferred => {
+                // sync: SeqCst committer fence between the write-set lock
+                // stores and the clock read; see the pairing argument on
+                // TxClock::read above.
                 fence(Ordering::SeqCst);
                 // The clock is monotone and `snapshot` was read from it, so
                 // `read() + 1 > snapshot` always holds.
@@ -344,30 +367,40 @@ impl TxShared {
     /// Current contention-manager timestamp ([`CM_TS_INFINITY`] if unset).
     #[inline]
     pub fn cm_ts(&self) -> u64 {
+        // sync: Acquire/Release on cm_ts so a Greedy/Serializer CM that
+        // reads a rival's timestamp also sees the writes of the attempt
+        // that published it (priority decisions stay causally consistent).
         self.owner.cm_ts.load(Ordering::Acquire)
     }
 
     /// Sets the contention-manager timestamp.
     #[inline]
     pub fn set_cm_ts(&self, ts: u64) {
+        // sync: Release half of the cm_ts edge documented on cm_ts().
         self.owner.cm_ts.store(ts, Ordering::Release);
     }
 
     /// Current Polka-style priority.
     #[inline]
     pub fn priority(&self) -> u64 {
+        // sync: Relaxed — Polka priorities are heuristic inputs to conflict
+        // resolution; a stale value changes which side backs off, never
+        // correctness (see the telemetry module for the exemption rule).
         self.owner.priority.load(Ordering::Relaxed)
     }
 
     /// Sets the Polka-style priority.
     #[inline]
     pub fn set_priority(&self, p: u64) {
+        // sync: Relaxed — heuristic, see priority().
         self.owner.priority.store(p, Ordering::Relaxed);
     }
 
     /// Increments the Polka-style priority by one.
     #[inline]
     pub fn bump_priority(&self) {
+        // sync: Relaxed — heuristic, see priority(); the RMW itself is
+        // still atomic, so increments are never lost.
         self.owner.priority.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -378,54 +411,69 @@ impl TxShared {
     /// re-requests while a previous one is still pending.
     #[inline]
     pub fn request_abort(&self) -> bool {
+        // sync: AcqRel RMW — Release so the victim's next Acquire poll also
+        // sees why it was aborted (the requester's conflicting ownership),
+        // Acquire so the requester observes the victim state it is about to
+        // act on; the RMW makes concurrent requesters agree on who delivered
+        // first. Model-checked by remote_abort.rs in stm-model-tests.
         !self.remote.abort_requested.swap(true, Ordering::AcqRel)
     }
 
     /// Returns `true` if some other transaction requested an abort.
     #[inline]
     pub fn abort_requested(&self) -> bool {
+        // sync: Acquire, pairing with the Release in request_abort().
         self.remote.abort_requested.load(Ordering::Acquire)
     }
 
     /// Clears the abort request flag (called when a new attempt starts).
     #[inline]
     pub fn clear_abort_request(&self) {
+        // sync: Release so a requester that still sees `true` after this
+        // store can only have raced the new attempt, not an old one.
         self.remote.abort_requested.store(false, Ordering::Release);
     }
 
     /// Number of successive aborts of the currently running transaction.
     #[inline]
     pub fn successive_aborts(&self) -> u64 {
+        // sync: Relaxed — backoff/CM heuristic counters, owner-written;
+        // remote readers tolerate staleness (telemetry exemption rule).
         self.owner.successive_aborts.load(Ordering::Relaxed)
     }
 
     /// Records one more abort and returns the updated count.
     #[inline]
     pub fn record_abort(&self) -> u64 {
+        // sync: Relaxed — heuristic, see successive_aborts().
         self.owner.successive_aborts.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Resets the successive abort counter (on commit).
     #[inline]
     pub fn reset_aborts(&self) {
+        // sync: Relaxed — heuristic, see successive_aborts().
         self.owner.successive_aborts.store(0, Ordering::Relaxed);
     }
 
     /// Number of CM waits recorded for the current attempt.
     #[inline]
     pub fn cm_wait_count(&self) -> u64 {
+        // sync: Relaxed — heuristic, see successive_aborts().
         self.owner.cm_waits.load(Ordering::Relaxed)
     }
 
     /// Records one more CM wait of the current attempt.
     #[inline]
     pub fn bump_cm_waits(&self) {
+        // sync: Relaxed — heuristic, see successive_aborts().
         self.owner.cm_waits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Resets the per-attempt CM wait counter (called from `on_start`).
     #[inline]
     pub fn reset_cm_waits(&self) {
+        // sync: Relaxed — heuristic, see successive_aborts().
         self.owner.cm_waits.store(0, Ordering::Relaxed);
     }
 
@@ -437,11 +485,15 @@ impl TxShared {
 
     /// Current coarse status.
     pub fn status(&self) -> TxStatus {
+        // sync: Acquire/Release on status — a CM that sees a rival Active
+        // must also see the attempt start that published it, otherwise
+        // wait-for decisions could target an already-finished transaction.
         TxStatus::from_u64(self.owner.status.load(Ordering::Acquire))
     }
 
     /// Publishes a new coarse status.
     pub fn set_status(&self, status: TxStatus) {
+        // sync: Release half of the status edge documented on status().
         self.owner.status.store(status.as_u64(), Ordering::Release);
     }
 }
@@ -500,6 +552,9 @@ impl ThreadRegistry {
     /// Returns [`StmError::TooManyThreads`] once [`MAX_THREADS`] slots have
     /// been handed out.
     pub fn register(&self) -> Result<ThreadSlot, StmError> {
+        // sync: AcqRel — the RMW hands out unique slots; Release/Acquire
+        // orders slot initialisation with registered() readers iterating
+        // live slots.
         let idx = self.next.fetch_add(1, Ordering::AcqRel);
         if idx >= MAX_THREADS {
             return Err(StmError::TooManyThreads { max: MAX_THREADS });
@@ -509,6 +564,7 @@ impl ThreadRegistry {
 
     /// Number of slots handed out so far.
     pub fn registered(&self) -> usize {
+        // sync: Acquire, pairing with register()'s Release (see above).
         self.next.load(Ordering::Acquire).min(MAX_THREADS)
     }
 

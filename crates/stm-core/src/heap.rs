@@ -14,7 +14,7 @@
 //! aborted transactions, defer frees to commit time) are provided by
 //! [`crate::logs::AllocLog`] and applied by the transaction driver.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::config::HeapConfig;
@@ -81,6 +81,9 @@ impl TmHeap {
     /// Panics if `addr` is out of bounds.
     #[inline]
     pub fn load(&self, addr: Addr) -> Word {
+        // sync: Acquire — a reader that validated against a stripe version
+        // must see the word contents written before that version was
+        // published (pairs with store_word's Release write-back).
         self.words[addr.index()].load(Ordering::Acquire)
     }
 
@@ -91,6 +94,8 @@ impl TmHeap {
     /// Panics if `addr` is out of bounds.
     #[inline]
     pub fn store(&self, addr: Addr, value: Word) {
+        // sync: Release — write-back publishes the word before the committer
+        // publishes the stripe version that makes it readable.
         self.words[addr.index()].store(value, Ordering::Release);
     }
 

@@ -18,6 +18,9 @@
 //!   Serializer, Polka and the paper's two-phase manager),
 //! * [`logs`] — read-/write-log containers,
 //! * [`stats`] — per-thread and aggregated execution statistics,
+//! * [`sync`] — the atomics gateway every STM crate imports instead of
+//!   `std::sync::atomic`; under `--cfg stm_model` it swaps in the
+//!   instrumented atomics of the in-workspace `stm-model` checker,
 //! * [`telemetry`] — allocation-free contention telemetry (CM resolutions
 //!   per conflict site, wait/back-off time, inflicted remote aborts,
 //!   retry-depth histograms) fed by the managers and the STM conflict
@@ -62,6 +65,7 @@ pub mod logs;
 pub mod naive;
 pub mod pad;
 pub mod stats;
+pub mod sync;
 pub mod telemetry;
 pub mod testkit;
 pub mod tm;

@@ -160,7 +160,7 @@ impl<E> LockTable<E> {
 mod tests {
     use super::*;
     use crate::pad::CACHE_LINE_BYTES;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use crate::sync::{AtomicU64, Ordering};
 
     #[test]
     fn entries_cover_consecutive_words() {
@@ -199,8 +199,10 @@ mod tests {
     fn entries_are_shared_state() {
         let table: LockTable<AtomicU64> = LockTable::new(LockTableConfig::small());
         let addr = Addr::new(40);
+        // sync: Relaxed — single-threaded test, no concurrent observer.
         table.entry(addr).store(7, Ordering::Relaxed);
         assert_eq!(
+            // sync: Relaxed — single-threaded test.
             table.entry_at(table.index_of(addr)).load(Ordering::Relaxed),
             7
         );
@@ -315,8 +317,10 @@ mod tests {
             let table: LockTable<AtomicU64> =
                 LockTable::new(LockTableConfig::small().with_layout(layout));
             let addr = Addr::new(40);
+            // sync: Relaxed — single-threaded test.
             table.entry(addr).store(9, Ordering::Relaxed);
             assert_eq!(
+                // sync: Relaxed — single-threaded test.
                 table.entry_at(table.index_of(addr)).load(Ordering::Relaxed),
                 9
             );

@@ -12,7 +12,7 @@
 //! It is intentionally *not* efficient: writes take the global lock eagerly
 //! and hold it until commit.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::clock::{ThreadRegistry, ThreadSlot};
@@ -72,16 +72,22 @@ impl NaiveGlobalLockTm {
         }
         while self
             .lock
+            // sync: AcqRel on success — Acquire makes the lock holder see
+            // the previous holder's writes, Release is not needed for the
+            // acquisition itself but comes free with the RMW; Relaxed on
+            // failure because a failed attempt only spins again.
             .compare_exchange_weak(false, true, Ordering::AcqRel, Ordering::Relaxed)
             .is_err()
         {
-            std::hint::spin_loop();
+            crate::sync::spin_loop();
         }
         desc.holds_lock = true;
     }
 
     fn release_global_lock(&self, desc: &mut NaiveDescriptor) {
         if desc.holds_lock {
+            // sync: Release publishes the critical-section writes to the
+            // next Acquire lock holder.
             self.lock.store(false, Ordering::Release);
             desc.holds_lock = false;
         }

@@ -84,8 +84,8 @@ impl<T> From<T> for CachePadded<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sync::{AtomicU64, Ordering};
     use std::mem::{align_of, size_of};
-    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn small_values_occupy_exactly_one_line() {
@@ -117,6 +117,7 @@ mod tests {
     #[test]
     fn deref_is_transparent() {
         let padded = CachePadded::new(AtomicU64::new(3));
+        // sync: Relaxed — single-threaded test.
         padded.store(5, Ordering::Relaxed);
         assert_eq!(padded.load(Ordering::Relaxed), 5);
         assert_eq!(padded.into_inner().into_inner(), 5);

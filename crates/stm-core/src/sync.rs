@@ -1,0 +1,44 @@
+//! The single gateway to atomics for every STM crate in this workspace.
+//!
+//! All of `stm-core`, `swisstm`, `tl2`, `tinystm` and `rstm` import their
+//! atomic types, fences and spin hints from here instead of
+//! `std::sync::atomic` (the `lint_atomics` test at the workspace root
+//! enforces this, together with a `// sync:` justification comment on
+//! every `Ordering::` site).
+//!
+//! In a normal build the module is a zero-cost re-export of std. Built
+//! with `RUSTFLAGS="--cfg stm_model"` it swaps in the instrumented atomics
+//! from the in-workspace [`stm_model`] bounded model checker, so the
+//! scenarios in `stm-model-tests` can exhaustively explore thread
+//! interleavings and stale-read choices of the *production* ordering
+//! annotations — the orderings are not mocked, the same `Ordering` values
+//! flow into the model.
+//!
+//! The model build is selected by `--cfg` rather than a cargo feature on
+//! purpose: feature unification across a workspace could silently turn a
+//! production benchmark build into an instrumented one, whereas a
+//! `RUSTFLAGS` cfg only ever applies to the dedicated model-test
+//! invocation.
+
+#[cfg(not(stm_model))]
+pub use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(stm_model)]
+pub use std::sync::atomic::Ordering;
+
+#[cfg(stm_model)]
+pub use stm_model::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize};
+
+/// Spin-loop hint.
+///
+/// Production builds emit [`std::hint::spin_loop`]. Under the model the
+/// calling thread parks until another thread stores, which both prunes the
+/// (infinite) re-run-the-spin schedules and turns spin livelocks into
+/// detected deadlocks; see `stm_model::spin_loop`.
+#[inline]
+pub fn spin_loop() {
+    #[cfg(not(stm_model))]
+    std::hint::spin_loop();
+    #[cfg(stm_model)]
+    stm_model::spin_loop();
+}

@@ -20,13 +20,28 @@
 //! * [`WaitTimer`] — a drop guard the STMs use to attribute wall-clock time
 //!   to their CM wait loops, created lazily on the first contended
 //!   iteration so conflict-free operations pay nothing.
+//!
+//! # Why every counter here is `Relaxed`
+//!
+//! The repo-wide atomics discipline (see `stm_core::sync` and the
+//! `lint_atomics` test) requires each `Ordering::` site to justify itself.
+//! Telemetry is the blanket exemption: these counters are *pure
+//! statistics*. They are written by the owning thread, drained by the same
+//! thread at collection points, and no control-flow decision anywhere reads
+//! them — so they carry no happens-before claims and nothing downstream
+//! depends on their ordering relative to STM state. `Relaxed` RMWs still
+//! guarantee the counts themselves are never lost; the only thing given up
+//! is cross-location ordering, which a statistic does not need. The same
+//! rule covers the heuristic CM counters on `TxShared` (priority,
+//! successive aborts, wait counts): stale values change *which side backs
+//! off*, never whether the STM is correct.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::clock::TxShared;
 use crate::cm::{ContentionManager, Resolution};
+use crate::sync::{AtomicU64, Ordering};
 
 /// Number of distinct [`ConflictSite`] values.
 pub const SITE_COUNT: usize = 4;
@@ -146,6 +161,7 @@ impl ContentionTelemetry {
     #[inline]
     pub fn record_resolution(&self, site: ConflictSite, resolution: Resolution) {
         self.resolutions[site.index()][resolution_index(resolution)]
+            // sync: Relaxed — statistics exemption (module docs).
             .fetch_add(1, Ordering::Relaxed);
     }
 
@@ -153,6 +169,7 @@ impl ContentionTelemetry {
     #[inline]
     pub fn record_cm_wait(&self, waited: Duration) {
         self.cm_wait_nanos
+            // sync: Relaxed — statistics exemption (module docs).
             .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
     }
 
@@ -160,8 +177,10 @@ impl ContentionTelemetry {
     /// `waited` wall-clock time.
     #[inline]
     pub fn record_backoff(&self, spins: u64, waited: Duration) {
+        // sync: Relaxed — statistics exemption (module docs).
         self.backoff_spins.fetch_add(spins, Ordering::Relaxed);
         self.backoff_nanos
+            // sync: Relaxed — statistics exemption (module docs).
             .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
     }
 
@@ -169,6 +188,7 @@ impl ContentionTelemetry {
     /// from clear to set).
     #[inline]
     pub fn record_abort_inflicted(&self) {
+        // sync: Relaxed — statistics exemption (module docs).
         self.aborts_inflicted.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -177,21 +197,26 @@ impl ContentionTelemetry {
     pub fn drain_into(&self, out: &mut ContentionCounters) {
         for (site, row) in self.resolutions.iter().enumerate() {
             for (res, counter) in row.iter().enumerate() {
+                // sync: Relaxed — statistics exemption (module docs).
                 let drained = counter.swap(0, Ordering::Relaxed);
                 out.resolutions[site][res] = out.resolutions[site][res].saturating_add(drained);
             }
         }
         out.cm_wait_nanos = out
             .cm_wait_nanos
+            // sync: Relaxed — statistics exemption (module docs).
             .saturating_add(self.cm_wait_nanos.swap(0, Ordering::Relaxed));
         out.backoff_nanos = out
             .backoff_nanos
+            // sync: Relaxed — statistics exemption (module docs).
             .saturating_add(self.backoff_nanos.swap(0, Ordering::Relaxed));
         out.backoff_spins = out
             .backoff_spins
+            // sync: Relaxed — statistics exemption (module docs).
             .saturating_add(self.backoff_spins.swap(0, Ordering::Relaxed));
         out.remote_aborts_inflicted = out
             .remote_aborts_inflicted
+            // sync: Relaxed — statistics exemption (module docs).
             .saturating_add(self.aborts_inflicted.swap(0, Ordering::Relaxed));
     }
 }

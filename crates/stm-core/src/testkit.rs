@@ -113,7 +113,7 @@ mod tests {
     use super::*;
     use crate::clock::ThreadRegistry;
     use crate::cm::Timid;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use crate::sync::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     #[test]
@@ -123,6 +123,7 @@ mod tests {
         let calls = Arc::clone(&hook_calls);
         cm.set_resolve_hook(Box::new(move |resolution| {
             assert_eq!(resolution, Resolution::AbortSelf);
+            // sync: SeqCst — test counter, strongest ordering for clarity.
             calls.fetch_add(1, Ordering::SeqCst);
         }));
         let registry = ThreadRegistry::new();
@@ -133,12 +134,14 @@ mod tests {
             Resolution::AbortSelf
         );
         assert_eq!(cm.resolutions(), vec![Resolution::AbortSelf]);
+        // sync: SeqCst — test counter.
         assert_eq!(hook_calls.load(Ordering::SeqCst), 1);
         assert_eq!(cm.name(), "timid");
         cm.clear_resolve_hook();
         cm.clear();
         cm.resolve(registry.shared(a), registry.shared(b));
         assert_eq!(cm.resolutions().len(), 1);
+        // sync: SeqCst — test counter.
         assert_eq!(hook_calls.load(Ordering::SeqCst), 1, "hook was cleared");
     }
 }

@@ -452,6 +452,20 @@ impl<A: TmAlgorithm> ThreadContext<A> {
         self.stats.writes += writes;
         self.stats.record_abort(reason);
         shared.record_abort();
+        // Under the model checker, an abort caused by a lock that a rival
+        // still holds turns the retry loop into a busy-wait: re-running the
+        // attempt before the owner moves hits the same lock and spawns an
+        // unbounded retry schedule. Yielding through the instrumented spin
+        // hint parks this thread until another thread stores — sound,
+        // because a held lock implies a live owner (every commit/rollback
+        // path releases before the thread finishes), so a wake-up store is
+        // always coming. Validation failures are not yielded: their retry
+        // can succeed with no further external store (bounded by the finite
+        // number of rival commits), so parking could deadlock the model.
+        #[cfg(stm_model)]
+        if matches!(reason, AbortReason::WriteConflict | AbortReason::ReadLocked) {
+            crate::sync::spin_loop();
+        }
         shared.set_status(TxStatus::Aborted);
         self.alg.contention_manager().on_rollback(shared);
     }
@@ -555,8 +569,8 @@ mod tests {
         heap: TmHeap,
         registry: ThreadRegistry,
         cm: crate::cm::Timid,
-        commit_failures: std::sync::atomic::AtomicU64,
-        rollbacks: std::sync::atomic::AtomicU64,
+        commit_failures: crate::sync::AtomicU64,
+        rollbacks: crate::sync::AtomicU64,
     }
 
     struct FlakyDescriptor {
@@ -624,9 +638,11 @@ mod tests {
         }
 
         fn commit(&self, desc: &mut FlakyDescriptor) -> TxResult<()> {
-            use std::sync::atomic::Ordering;
+            use crate::sync::Ordering;
+            // sync: Relaxed — single-threaded test harness.
             let remaining = self.commit_failures.load(Ordering::Relaxed);
             if remaining > 0 {
+                // sync: Relaxed — single-threaded test harness.
                 self.commit_failures.store(remaining - 1, Ordering::Relaxed);
                 desc.needs_rollback = true;
                 return Err(Abort::READ_VALIDATION);
@@ -637,7 +653,8 @@ mod tests {
         fn rollback(&self, desc: &mut FlakyDescriptor) {
             desc.needs_rollback = false;
             self.rollbacks
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                // sync: Relaxed — single-threaded test harness.
+                .fetch_add(1, crate::sync::Ordering::Relaxed);
         }
     }
 
@@ -647,8 +664,8 @@ mod tests {
             heap: TmHeap::new(HeapConfig::small()),
             registry: ThreadRegistry::new(),
             cm: crate::cm::Timid::new(),
-            commit_failures: std::sync::atomic::AtomicU64::new(2),
-            rollbacks: std::sync::atomic::AtomicU64::new(0),
+            commit_failures: crate::sync::AtomicU64::new(2),
+            rollbacks: crate::sync::AtomicU64::new(0),
         });
         let addr = stm.heap().alloc_zeroed(1).unwrap();
         let mut ctx = ThreadContext::register(Arc::clone(&stm));
@@ -656,7 +673,8 @@ mod tests {
         // commit was not followed by `rollback`.
         ctx.atomically(|tx| tx.write(addr, 9)).unwrap();
         assert_eq!(
-            stm.rollbacks.load(std::sync::atomic::Ordering::Relaxed),
+            // sync: Relaxed — single-threaded test harness.
+            stm.rollbacks.load(crate::sync::Ordering::Relaxed),
             2,
             "driver must roll back once per failed commit"
         );

@@ -1,0 +1,14 @@
+//! Model-checked scenarios for the four STMs.
+//!
+//! This crate is a test host: the scenarios live in `tests/` and are
+//! compiled only under `RUSTFLAGS="--cfg stm_model"`, which flips the
+//! `stm_core::sync` shim from `std::sync::atomic` to the instrumented
+//! atomics in `stm-model`. In a normal build (the tier-1 path) the test
+//! files compile to nothing, so `cargo test -q` stays fast and the
+//! production crates stay uninstrumented.
+//!
+//! Run the model suite with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg stm_model" cargo test -p stm-model-tests --release
+//! ```

@@ -1,0 +1,80 @@
+//! Shared scaffolding for the model scenarios.
+//!
+//! Every scenario builds a *tiny* STM instance — a handful of heap words and
+//! a 4-entry lock table — so that the conflicting addresses actually collide
+//! in the lock table and the atomic-operation count per execution stays
+//! small enough for exhaustive exploration.
+//!
+//! All builders pin the contention manager to [`Timid`]: it resolves every
+//! conflict by aborting the attacker immediately, which keeps the retry
+//! structure simple (abort → model yield → retry once the owner stores).
+//! CMs that *wait* (Greedy, TwoPhase) spin through `stm_core::sync::
+//! spin_loop()` and are exercised by the contention rig, not the model.
+
+// Each scenario binary includes this module and uses only its own subset of
+// the builders.
+#![allow(dead_code)]
+
+use std::sync::Arc;
+
+use rstm::{Rstm, RstmVariant};
+use stm_core::cm::Timid;
+use stm_core::error::TxResult;
+use stm_core::prelude::*;
+use swisstm::SwissTm;
+use tinystm::TinyStm;
+use tl2::Tl2;
+
+/// Smallest useful STM configuration: 8 heap words, 4 lock-table entries.
+pub fn tiny_config() -> StmConfig {
+    StmConfig::small()
+        .with_heap(HeapConfig::with_words(8))
+        .with_lock_table(LockTableConfig::small().with_log2_entries(2))
+}
+
+pub fn swisstm(cfg: StmConfig) -> Arc<SwissTm> {
+    Arc::new(
+        SwissTm::builder()
+            .config(cfg)
+            .contention_manager(Arc::new(Timid::new()))
+            .build(),
+    )
+}
+
+pub fn tl2(cfg: StmConfig) -> Arc<Tl2> {
+    Arc::new(
+        Tl2::builder()
+            .config(cfg)
+            .contention_manager(Arc::new(Timid::new()))
+            .build(),
+    )
+}
+
+pub fn tinystm(cfg: StmConfig) -> Arc<TinyStm> {
+    Arc::new(
+        TinyStm::builder()
+            .config(cfg)
+            .contention_manager(Arc::new(Timid::new()))
+            .build(),
+    )
+}
+
+pub fn rstm(cfg: StmConfig, variant: RstmVariant) -> Arc<Rstm> {
+    Arc::new(
+        Rstm::builder()
+            .config(cfg)
+            .variant(variant)
+            .contention_manager(Arc::new(Timid::new()))
+            .build(),
+    )
+}
+
+/// Runs one transaction on a freshly registered context, unwrapping the
+/// result (the scenarios expect every transaction to eventually commit).
+pub fn run_tx<A, R>(stm: Arc<A>, body: impl FnMut(&mut Tx<'_, A>) -> TxResult<R>) -> R
+where
+    A: TmAlgorithm,
+{
+    let mut ctx = ThreadContext::register(stm);
+    ctx.atomically(body).expect("scenario transaction failed")
+}

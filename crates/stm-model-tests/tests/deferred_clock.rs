@@ -1,0 +1,121 @@
+//! Commit-clock opacity under Strict *and* Deferred clock modes.
+//!
+//! This is the scenario the `// sync:` comments on the SeqCst fence pair in
+//! `stm_core::clock` appeal to. A writer transaction updates two words
+//! together; a concurrent reader transaction reads both. Opacity (snapshot
+//! consistency) demands the reader sees either *neither* or *both* updates —
+//! never a torn pair — in every interleaving and for every stale value the
+//! memory model lets a load return.
+//!
+//! The deferred clock mode is the interesting half: it publishes the commit
+//! stamp *after* write-back, relying on the fence pair (and validation) to
+//! keep half-written snapshots invisible. A weakening of those fences shows
+//! up here as `rx != ry` with a replayable schedule.
+//!
+//! Run with: `RUSTFLAGS="--cfg stm_model" cargo test -p stm-model-tests`
+#![cfg(stm_model)]
+
+mod common;
+
+use std::sync::Arc;
+
+use rstm::RstmVariant;
+use stm_core::prelude::*;
+
+use common::{rstm, run_tx, swisstm, tiny_config, tinystm, tl2};
+
+fn check_snapshot_consistency<A>(make: impl Fn() -> Arc<A> + Copy) -> stm_model::Report
+where
+    A: TmAlgorithm + 'static,
+{
+    stm_model::model(move || {
+        let stm = make();
+        let x = stm.heap().alloc_zeroed(1).unwrap();
+        let y = stm.heap().alloc_zeroed(1).unwrap();
+
+        let writer = {
+            let stm = Arc::clone(&stm);
+            stm_model::thread::spawn(move || {
+                run_tx(stm, |tx| {
+                    tx.write(x, 1)?;
+                    tx.write(y, 1)
+                });
+            })
+        };
+        let reader = {
+            let stm = Arc::clone(&stm);
+            stm_model::thread::spawn(move || {
+                // Read in the *reverse* of write-back order so a torn
+                // snapshot (y written back, stamp not yet visible — or the
+                // converse) is the easiest thing to observe if the clock
+                // edges are wrong.
+                let (ry, rx) = run_tx(stm, |tx| {
+                    let ry = tx.read(y)?;
+                    let rx = tx.read(x)?;
+                    Ok((ry, rx))
+                });
+                assert_eq!(rx, ry, "torn snapshot: x={rx} y={ry}");
+            })
+        };
+        writer.join();
+        reader.join();
+        assert_eq!(stm.heap().load(x), 1);
+        assert_eq!(stm.heap().load(y), 1);
+    })
+}
+
+fn strict() -> StmConfig {
+    tiny_config().with_clock(ClockMode::Strict)
+}
+
+fn deferred() -> StmConfig {
+    tiny_config().with_clock(ClockMode::Deferred)
+}
+
+#[test]
+fn swisstm_strict_clock_is_opaque() {
+    let r = check_snapshot_consistency(|| swisstm(strict()));
+    println!("swisstm strict: {} executions", r.executions);
+}
+
+#[test]
+fn swisstm_deferred_clock_is_opaque() {
+    let r = check_snapshot_consistency(|| swisstm(deferred()));
+    println!("swisstm deferred: {} executions", r.executions);
+}
+
+#[test]
+fn tl2_strict_clock_is_opaque() {
+    let r = check_snapshot_consistency(|| tl2(strict()));
+    println!("tl2 strict: {} executions", r.executions);
+}
+
+#[test]
+fn tl2_deferred_clock_is_opaque() {
+    let r = check_snapshot_consistency(|| tl2(deferred()));
+    println!("tl2 deferred: {} executions", r.executions);
+}
+
+#[test]
+fn tinystm_strict_clock_is_opaque() {
+    let r = check_snapshot_consistency(|| tinystm(strict()));
+    println!("tinystm strict: {} executions", r.executions);
+}
+
+#[test]
+fn tinystm_deferred_clock_is_opaque() {
+    let r = check_snapshot_consistency(|| tinystm(deferred()));
+    println!("tinystm deferred: {} executions", r.executions);
+}
+
+#[test]
+fn rstm_strict_clock_is_opaque() {
+    let r = check_snapshot_consistency(|| rstm(strict(), RstmVariant::eager_invisible()));
+    println!("rstm strict: {} executions", r.executions);
+}
+
+#[test]
+fn rstm_deferred_clock_is_opaque() {
+    let r = check_snapshot_consistency(|| rstm(deferred(), RstmVariant::eager_invisible()));
+    println!("rstm deferred: {} executions", r.executions);
+}

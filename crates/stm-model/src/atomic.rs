@@ -1,0 +1,259 @@
+//! Instrumented drop-in replacements for `std::sync::atomic` types.
+//!
+//! Each atomic lazily registers a model *location* with the current
+//! [`Execution`](crate::exec::Execution) on first use, then routes every
+//! access through the scheduler so it becomes a schedule point and a
+//! memory-model event. `Ordering` is the real `std::sync::atomic::Ordering`
+//! — instrumented code uses the exact orderings production code uses.
+//!
+//! Model atomics must be created *inside* the `model()` closure (each
+//! execution needs fresh locations); a `const fn new` is still provided so
+//! the types are signature-compatible with std.
+
+use std::sync::atomic::Ordering;
+use std::sync::OnceLock;
+
+use crate::rt;
+
+/// Instrumented [`std::sync::atomic::AtomicU64`].
+pub struct AtomicU64 {
+    loc: OnceLock<usize>,
+    init: u64,
+}
+
+impl AtomicU64 {
+    pub const fn new(value: u64) -> Self {
+        AtomicU64 {
+            loc: OnceLock::new(),
+            init: value,
+        }
+    }
+
+    fn loc(&self) -> usize {
+        *self
+            .loc
+            .get_or_init(|| rt::current().exec.alloc_location(self.init))
+    }
+
+    pub fn load(&self, order: Ordering) -> u64 {
+        let ctx = rt::current();
+        ctx.exec.op_load(ctx.tid, self.loc(), order)
+    }
+
+    pub fn store(&self, value: u64, order: Ordering) {
+        let ctx = rt::current();
+        ctx.exec.op_store(ctx.tid, self.loc(), value, order);
+    }
+
+    pub fn swap(&self, value: u64, order: Ordering) -> u64 {
+        let ctx = rt::current();
+        ctx.exec.op_rmw(ctx.tid, self.loc(), order, |_| value)
+    }
+
+    pub fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+        let ctx = rt::current();
+        ctx.exec
+            .op_rmw(ctx.tid, self.loc(), order, |old| old.wrapping_add(value))
+    }
+
+    pub fn fetch_sub(&self, value: u64, order: Ordering) -> u64 {
+        let ctx = rt::current();
+        ctx.exec
+            .op_rmw(ctx.tid, self.loc(), order, |old| old.wrapping_sub(value))
+    }
+
+    pub fn fetch_or(&self, value: u64, order: Ordering) -> u64 {
+        let ctx = rt::current();
+        ctx.exec
+            .op_rmw(ctx.tid, self.loc(), order, |old| old | value)
+    }
+
+    pub fn fetch_and(&self, value: u64, order: Ordering) -> u64 {
+        let ctx = rt::current();
+        ctx.exec
+            .op_rmw(ctx.tid, self.loc(), order, |old| old & value)
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        let ctx = rt::current();
+        ctx.exec
+            .op_cas(ctx.tid, self.loc(), current, new, success, failure)
+    }
+
+    /// Identical to [`compare_exchange`](Self::compare_exchange): the model
+    /// does not generate spurious failures, which only removes executions
+    /// that a correct retry loop must tolerate anyway.
+    pub fn compare_exchange_weak(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.compare_exchange(current, new, success, failure)
+    }
+
+    pub fn into_inner(self) -> u64 {
+        self.peek()
+    }
+
+    /// Newest value in modification order, without a schedule point.
+    fn peek(&self) -> u64 {
+        match (self.loc.get(), rt::try_current()) {
+            (Some(&loc), Some(ctx)) => ctx.exec.peek(loc),
+            _ => self.init,
+        }
+    }
+}
+
+impl Default for AtomicU64 {
+    fn default() -> Self {
+        AtomicU64::new(0)
+    }
+}
+
+impl std::fmt::Debug for AtomicU64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicU64").field(&self.peek()).finish()
+    }
+}
+
+macro_rules! wrap_u64 {
+    ($name:ident, $ty:ty, $std_name:literal) => {
+        #[doc = concat!("Instrumented [`std::sync::atomic::", $std_name, "`], backed by [`AtomicU64`].")]
+        #[derive(Debug, Default)]
+        pub struct $name(AtomicU64);
+
+        impl $name {
+            pub const fn new(value: $ty) -> Self {
+                $name(AtomicU64::new(value as u64))
+            }
+
+            pub fn load(&self, order: Ordering) -> $ty {
+                self.0.load(order) as $ty
+            }
+
+            pub fn store(&self, value: $ty, order: Ordering) {
+                self.0.store(value as u64, order);
+            }
+
+            pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
+                self.0.swap(value as u64, order) as $ty
+            }
+
+            pub fn fetch_add(&self, value: $ty, order: Ordering) -> $ty {
+                self.0.fetch_add(value as u64, order) as $ty
+            }
+
+            pub fn fetch_sub(&self, value: $ty, order: Ordering) -> $ty {
+                self.0.fetch_sub(value as u64, order) as $ty
+            }
+
+            pub fn fetch_or(&self, value: $ty, order: Ordering) -> $ty {
+                self.0.fetch_or(value as u64, order) as $ty
+            }
+
+            pub fn fetch_and(&self, value: $ty, order: Ordering) -> $ty {
+                self.0.fetch_and(value as u64, order) as $ty
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.0
+                    .compare_exchange(current as u64, new as u64, success, failure)
+                    .map(|v| v as $ty)
+                    .map_err(|v| v as $ty)
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            pub fn into_inner(self) -> $ty {
+                self.0.into_inner() as $ty
+            }
+        }
+    };
+}
+
+wrap_u64!(AtomicUsize, usize, "AtomicUsize");
+
+/// Instrumented [`std::sync::atomic::AtomicBool`], backed by [`AtomicU64`].
+#[derive(Debug, Default)]
+pub struct AtomicBool(AtomicU64);
+
+impl AtomicBool {
+    pub const fn new(value: bool) -> Self {
+        AtomicBool(AtomicU64::new(value as u64))
+    }
+
+    pub fn load(&self, order: Ordering) -> bool {
+        self.0.load(order) != 0
+    }
+
+    pub fn store(&self, value: bool, order: Ordering) {
+        self.0.store(value as u64, order);
+    }
+
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        self.0.swap(value as u64, order) != 0
+    }
+
+    pub fn fetch_or(&self, value: bool, order: Ordering) -> bool {
+        self.0.fetch_or(value as u64, order) != 0
+    }
+
+    pub fn fetch_and(&self, value: bool, order: Ordering) -> bool {
+        self.0.fetch_and(value as u64, order) != 0
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.0
+            .compare_exchange(current as u64, new as u64, success, failure)
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+    }
+
+    pub fn compare_exchange_weak(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.compare_exchange(current, new, success, failure)
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.0.into_inner() != 0
+    }
+}
+
+/// Instrumented [`std::sync::atomic::fence`].
+pub fn fence(order: Ordering) {
+    let ctx = rt::current();
+    ctx.exec.op_fence(ctx.tid, order);
+}

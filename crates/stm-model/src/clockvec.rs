@@ -1,0 +1,70 @@
+//! Fixed-size vector clocks.
+//!
+//! The model checker tracks happens-before with one vector clock per model
+//! thread. Clocks are small fixed arrays ([`MAX_MODEL_THREADS`] entries) so
+//! they are `Copy` and can be snapshotted into every store event without
+//! allocation.
+
+/// Maximum number of model threads in one execution.
+///
+/// Model scenarios are 2–4 thread micro-schedules by design: the DFS over
+/// interleavings is exponential in thread count, so the bound is a feature,
+/// not a limitation. It also keeps [`VClock`] a `Copy` array.
+pub const MAX_MODEL_THREADS: usize = 4;
+
+/// A vector clock over the model threads of one execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VClock([u32; MAX_MODEL_THREADS]);
+
+impl VClock {
+    /// The all-zero clock.
+    pub const fn zero() -> Self {
+        VClock([0; MAX_MODEL_THREADS])
+    }
+
+    /// Component for thread `tid`.
+    #[inline]
+    pub fn get(&self, tid: usize) -> u32 {
+        self.0[tid]
+    }
+
+    /// Increments the component for thread `tid`.
+    #[inline]
+    pub fn bump(&mut self, tid: usize) {
+        self.0[tid] += 1;
+    }
+
+    /// Pointwise maximum with `other`.
+    #[inline]
+    pub fn join(&mut self, other: &VClock) {
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Whether this clock has seen at least operation `seq` of thread `tid`
+    /// (i.e. that operation happens-before the clock's owner).
+    #[inline]
+    pub fn covers(&self, tid: usize, seq: u32) -> bool {
+        self.0[tid] >= seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::zero();
+        a.bump(0);
+        a.bump(0);
+        let mut b = VClock::zero();
+        b.bump(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        assert!(a.covers(0, 2));
+        assert!(!a.covers(0, 3));
+    }
+}

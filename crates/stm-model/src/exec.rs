@@ -1,0 +1,775 @@
+//! One bounded-model-checking execution: the cooperative scheduler and the
+//! axiomatic-ish memory model.
+//!
+//! # Scheduling
+//!
+//! Model threads are real OS threads, but at most one is ever *runnable* in
+//! the model: every instrumented operation (atomic access, fence, spin,
+//! join) is a scheduling point where the running thread consults the
+//! [`Trace`] to decide who performs the next operation. All other threads
+//! block on a condvar until scheduled. Switching away from a thread that
+//! could have continued counts against the configurable *preemption bound*
+//! (the CHESS heuristic: most concurrency bugs need very few preemptions),
+//! which keeps the DFS tractable on realistic code.
+//!
+//! # Memory model
+//!
+//! A conservative approximation of the C11 model, close to what `loom`
+//! implements:
+//!
+//! * per-location *modification order* = the order stores execute in,
+//! * per-thread vector clocks for happens-before,
+//! * a load may read any store in modification order that is not already
+//!   superseded for the reader (coherence + happens-before); the choice is
+//!   a branch point, which is what makes stale reads explorable,
+//! * `Release` stores carry the writer's clock; `Acquire` loads join it;
+//!   RMWs continue release sequences; `Release`/`Acquire` fences work on
+//!   the accumulated pending clocks,
+//! * `SeqCst` operations and fences additionally join through a global SC
+//!   clock, which totally orders them in execution order.
+//!
+//! Known (documented) strengthenings versus C11: modification order never
+//! contradicts execution order, a failed `compare_exchange` reads the
+//! newest store, `compare_exchange_weak` never fails spuriously, and
+//! `SeqCst` *operations* are ordered slightly more strongly than the
+//! standard requires. A bug found here is a real bug; absence of bugs is a
+//! proof only up to these strengthenings and the preemption bound.
+//!
+//! # Spin loops
+//!
+//! [`Execution::op_spin`] (reached through `stm_core::sync::spin_loop`)
+//! parks the calling thread until some other thread performs a store or
+//! RMW, and ratchets the spinner's coherence floor for the locations its
+//! spin predicate reads (a liveness assumption: unbounded waiting
+//! eventually observes the newest value). Re-running a read-only spin
+//! iteration that can only re-observe the same values cannot reach a new
+//! state, so this prunes the otherwise-infinite schedule tree; it also
+//! gives livelock detection for free (all threads parked with no writer
+//! left = bug).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::panic;
+use std::sync::atomic::Ordering;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use crate::clockvec::{VClock, MAX_MODEL_THREADS};
+use crate::trace::Trace;
+
+/// Marker panic used to unwind model threads when the execution aborts
+/// (another thread panicked, or the explorer found a deadlock).
+pub(crate) struct AbortSentinel;
+
+/// Writer id of the location's initial value (visible to every thread).
+const INIT_WRITER: usize = usize::MAX;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Parked in a spin loop; runnable again once `store_epoch` advances
+    /// past `epoch`.
+    Spinning {
+        epoch: u64,
+    },
+    /// Blocked joining `target`; runnable once it finishes.
+    Joining {
+        target: usize,
+    },
+    Finished,
+}
+
+/// One store event in a location's modification order.
+#[derive(Clone, Copy, Debug)]
+struct StoreEvent {
+    value: u64,
+    writer: usize,
+    /// The writer's own clock component at the store, used for
+    /// happens-before tests against reader clocks.
+    writer_seq: u32,
+    /// Clock released by this store: `Some` for `Release`-or-stronger
+    /// stores, for relaxed stores issued after a `Release` fence (the fence
+    /// clock), and for RMWs continuing a release sequence.
+    release: Option<VClock>,
+}
+
+#[derive(Debug)]
+struct Location {
+    stores: Vec<StoreEvent>,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    status: Status,
+    clock: VClock,
+    /// Release clocks picked up by relaxed loads, applied by a later
+    /// `Acquire` fence.
+    pending_acquire: VClock,
+    /// Clock at the last `Release` fence, attached to subsequent relaxed
+    /// stores.
+    release_fence: Option<VClock>,
+    /// Per-location coherence floor: the index in modification order below
+    /// which this thread may no longer read.
+    floors: HashMap<usize, usize>,
+    /// Locations read since the last `spin_loop`, i.e. the current spin
+    /// predicate's footprint (see [`Execution::op_spin`]).
+    reads_since_spin: Vec<usize>,
+    /// Set when another thread scheduled this one (handoff, block, finish):
+    /// its next scheduling point executes without making a decision, because
+    /// the scheduler's pick *was* the decision for that step. Keeping this
+    /// in model state (rather than inferring it from where the thread
+    /// happens to be parked) is what makes the decision sequence independent
+    /// of OS timing: a handoff target that has not yet reached its first
+    /// operation must behave exactly like one already waiting on the condvar.
+    handed_off: bool,
+    /// Clock at termination (for the join edge).
+    final_clock: VClock,
+}
+
+impl ThreadState {
+    fn new(clock: VClock) -> Self {
+        ThreadState {
+            status: Status::Runnable,
+            clock,
+            pending_acquire: VClock::zero(),
+            release_fence: None,
+            floors: HashMap::new(),
+            reads_since_spin: Vec::new(),
+            handed_off: false,
+            final_clock: VClock::zero(),
+        }
+    }
+}
+
+pub(crate) struct ExecState {
+    trace: Trace,
+    threads: Vec<ThreadState>,
+    current: usize,
+    preemptions: usize,
+    preemption_bound: Option<usize>,
+    locations: Vec<Location>,
+    sc_clock: VClock,
+    store_epoch: u64,
+    steps: u64,
+    max_steps: u64,
+    aborting: bool,
+    panic_payload: Option<Box<dyn Any + Send>>,
+    finished: usize,
+    done: bool,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+    /// Per-operation stderr log, enabled by `STM_MODEL_LOG_OPS=1`
+    /// (diagnosing nondeterministic-replay reports).
+    log_ops: bool,
+}
+
+impl ExecState {
+    /// Threads eligible to run the next operation.
+    fn runnable(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter_map(|(tid, t)| match t.status {
+                Status::Runnable => Some(tid),
+                Status::Spinning { epoch } if self.store_epoch > epoch => Some(tid),
+                Status::Joining { target }
+                    if matches!(self.threads[target].status, Status::Finished) =>
+                {
+                    Some(tid)
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Picks one of `choices` through the trace. Single-choice points are
+    /// recorded too: they cannot fork the DFS, but replaying them pins the
+    /// full decision sequence, so any nondeterminism in the code under test
+    /// is caught at the first divergent operation instead of surfacing as a
+    /// misaligned branch much later.
+    fn pick(&mut self, choices: &[usize]) -> usize {
+        choices[self.trace.choose(choices.len())]
+    }
+
+    /// Candidate store indices a load by `tid` may read, newest first.
+    fn readable(&self, tid: usize, loc: usize) -> Vec<usize> {
+        let thread = &self.threads[tid];
+        let stores = &self.locations[loc].stores;
+        let mut floor = thread.floors.get(&loc).copied().unwrap_or(0);
+        // A store that happens-before the reader supersedes everything
+        // older: raise the floor to the newest such store.
+        for idx in ((floor + 1)..stores.len()).rev() {
+            let store = &stores[idx];
+            if store.writer == INIT_WRITER || thread.clock.covers(store.writer, store.writer_seq) {
+                floor = idx;
+                break;
+            }
+        }
+        (floor..stores.len()).rev().collect()
+    }
+
+    /// Applies the effects of `tid` reading store `idx` of `loc`.
+    fn apply_read(&mut self, tid: usize, loc: usize, idx: usize, acquire: bool) {
+        let release = self.locations[loc].stores[idx].release;
+        let thread = &mut self.threads[tid];
+        let floor = thread.floors.entry(loc).or_insert(0);
+        *floor = (*floor).max(idx);
+        thread.reads_since_spin.push(loc);
+        if let Some(release_clock) = release {
+            if acquire {
+                thread.clock.join(&release_clock);
+            } else {
+                thread.pending_acquire.join(&release_clock);
+            }
+        }
+    }
+
+    /// Appends a store by `tid` to `loc`'s modification order.
+    fn append_store(&mut self, tid: usize, loc: usize, value: u64, release: Option<VClock>) {
+        let writer_seq = self.threads[tid].clock.get(tid);
+        self.locations[loc].stores.push(StoreEvent {
+            value,
+            writer: tid,
+            writer_seq,
+            release,
+        });
+        let new_idx = self.locations[loc].stores.len() - 1;
+        self.threads[tid].floors.insert(loc, new_idx);
+        self.store_epoch += 1;
+    }
+
+    fn sc_pre(&mut self, tid: usize) {
+        let sc = self.sc_clock;
+        self.threads[tid].clock.join(&sc);
+    }
+
+    fn sc_post(&mut self, tid: usize) {
+        let clock = self.threads[tid].clock;
+        self.sc_clock.join(&clock);
+    }
+}
+
+fn is_acquire(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn is_release(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+impl Execution {
+    pub(crate) fn new(trace: Trace, preemption_bound: Option<usize>, max_steps: u64) -> Self {
+        let mut trace = trace;
+        trace.start_execution();
+        Execution {
+            state: Mutex::new(ExecState {
+                trace,
+                threads: vec![ThreadState::new(VClock::zero())],
+                current: 0,
+                preemptions: 0,
+                preemption_bound,
+                locations: Vec::new(),
+                sc_clock: VClock::zero(),
+                store_epoch: 0,
+                steps: 0,
+                max_steps,
+                aborting: false,
+                panic_payload: None,
+                finished: 0,
+                done: false,
+                os_handles: Vec::new(),
+                log_ops: std::env::var_os("STM_MODEL_LOG_OPS").is_some(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn abort_check(state: &ExecState) {
+        if state.aborting {
+            panic::panic_any(AbortSentinel);
+        }
+    }
+
+    /// Marks the execution aborted with `message` and unwinds the caller.
+    fn abort(&self, mut state: MutexGuard<'_, ExecState>, message: String) -> ! {
+        state.aborting = true;
+        if state.panic_payload.is_none() {
+            state.panic_payload = Some(Box::new(message));
+        }
+        self.cv.notify_all();
+        drop(state);
+        panic::panic_any(AbortSentinel);
+    }
+
+    fn wait_for_turn<'a>(
+        &'a self,
+        mut state: MutexGuard<'a, ExecState>,
+        tid: usize,
+    ) -> MutexGuard<'a, ExecState> {
+        while state.current != tid && !state.aborting {
+            state = self
+                .cv
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        Self::abort_check(&state);
+        state
+    }
+
+    /// Common prologue of every instrumented operation: get scheduled, make
+    /// the scheduling decision for this step, account the step.
+    ///
+    /// The running thread at a fresh step decides (within the preemption
+    /// budget) who runs this step, possibly handing off and waiting. A
+    /// thread that was *scheduled by someone else's decision* — a handoff, a
+    /// blocking switch, a finishing thread's successor pick — executes
+    /// without a second decision (its `handed_off` flag is set), so every
+    /// executed step corresponds to exactly one scheduling decision. The
+    /// flag, not the thread's parked-ness, carries that fact: whether the
+    /// target had already reached a wait or was still running toward its
+    /// next operation is an OS race the decision sequence must not see.
+    fn enter_step<'a>(&'a self, tid: usize) -> MutexGuard<'a, ExecState> {
+        let mut state = self.lock();
+        Self::abort_check(&state);
+        if state.current == tid && !state.threads[tid].handed_off {
+            let runnable = state.runnable();
+            let exhausted = state
+                .preemption_bound
+                .is_some_and(|bound| state.preemptions >= bound);
+            let pick = if exhausted {
+                tid
+            } else {
+                let mut choices = Vec::with_capacity(runnable.len());
+                choices.push(tid);
+                choices.extend(runnable.iter().copied().filter(|&t| t != tid));
+                state.pick(&choices)
+            };
+            if pick != tid {
+                state.preemptions += 1;
+                state.current = pick;
+                state.threads[pick].handed_off = true;
+                self.cv.notify_all();
+                state = self.wait_for_turn(state, tid);
+            }
+        } else {
+            state = self.wait_for_turn(state, tid);
+        }
+        state.threads[tid].handed_off = false;
+        state.steps += 1;
+        if state.steps > state.max_steps {
+            let steps = state.steps;
+            self.abort(
+                state,
+                format!(
+                    "stm-model: execution exceeded {steps} steps; \
+                     likely a livelock or an unbounded retry loop"
+                ),
+            );
+        }
+        state.threads[tid].clock.bump(tid);
+        state
+    }
+
+    /// Prologue for blocking operations (spin, join): get scheduled, but do
+    /// not make a step decision — the block itself will choose among the
+    /// *other* runnable threads. A pending handoff is consumed here too: the
+    /// scheduler's pick covered this (blocking) operation.
+    fn enter_blocking<'a>(&'a self, tid: usize) -> MutexGuard<'a, ExecState> {
+        let mut state = self.lock();
+        Self::abort_check(&state);
+        state = self.wait_for_turn(state, tid);
+        state.threads[tid].handed_off = false;
+        state
+    }
+
+    /// Parks `tid` with `status` and schedules another thread; returns once
+    /// `tid` is scheduled again.
+    fn block_on<'a>(
+        &'a self,
+        mut state: MutexGuard<'a, ExecState>,
+        tid: usize,
+        status: Status,
+    ) -> MutexGuard<'a, ExecState> {
+        state.threads[tid].status = status;
+        let runnable = state.runnable();
+        if runnable.is_empty() {
+            let detail = state
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(t, ts)| format!("T{t}:{:?}", ts.status))
+                .collect::<Vec<_>>()
+                .join(" ");
+            self.abort(
+                state,
+                format!(
+                    "stm-model: deadlock/livelock — no runnable thread left ({detail}); \
+                     every live thread is spinning with no writer or waiting on a join"
+                ),
+            );
+        }
+        let pick = state.pick(&runnable);
+        state.current = pick;
+        state.threads[pick].handed_off = true;
+        self.cv.notify_all();
+        state = self.wait_for_turn(state, tid);
+        state.threads[tid].status = Status::Runnable;
+        state
+    }
+
+    // ---- instrumented operations ------------------------------------
+
+    /// Registers a fresh atomic location holding `init`. Not a scheduling
+    /// point: creating an atomic is not a memory-model event.
+    pub(crate) fn alloc_location(&self, init: u64) -> usize {
+        let mut state = self.lock();
+        state.locations.push(Location {
+            stores: vec![StoreEvent {
+                value: init,
+                writer: INIT_WRITER,
+                writer_seq: 0,
+                release: None,
+            }],
+        });
+        state.locations.len() - 1
+    }
+
+    /// Reads the newest value of `loc` without a scheduling point or clock
+    /// effects (for `Debug`/`into_inner`).
+    pub(crate) fn peek(&self, loc: usize) -> u64 {
+        let state = self.lock();
+        state.locations[loc]
+            .stores
+            .last()
+            .expect("location has an initial store")
+            .value
+    }
+
+    pub(crate) fn op_load(&self, tid: usize, loc: usize, order: Ordering) -> u64 {
+        let mut state = self.enter_step(tid);
+        if order == Ordering::SeqCst {
+            state.sc_pre(tid);
+        }
+        let candidates = state.readable(tid, loc);
+        let chosen = state.pick(&candidates);
+        state.apply_read(tid, loc, chosen, is_acquire(order));
+        let value = state.locations[loc].stores[chosen].value;
+        if state.log_ops {
+            eprintln!(
+                "@{} t{tid} load loc={loc} cand={} -> {value}",
+                state.trace.cursor(),
+                candidates.len()
+            );
+        }
+        if order == Ordering::SeqCst {
+            state.sc_post(tid);
+        }
+        value
+    }
+
+    pub(crate) fn op_store(&self, tid: usize, loc: usize, value: u64, order: Ordering) {
+        let mut state = self.enter_step(tid);
+        if order == Ordering::SeqCst {
+            state.sc_pre(tid);
+        }
+        let release = if is_release(order) {
+            Some(state.threads[tid].clock)
+        } else {
+            state.threads[tid].release_fence
+        };
+        state.append_store(tid, loc, value, release);
+        if state.log_ops {
+            eprintln!(
+                "@{} t{tid} store loc={loc} <- {value}",
+                state.trace.cursor()
+            );
+        }
+        if order == Ordering::SeqCst {
+            state.sc_post(tid);
+        }
+    }
+
+    /// Atomic read-modify-write. Per C11 atomicity the read part observes
+    /// the newest store in modification order (no branch).
+    pub(crate) fn op_rmw(
+        &self,
+        tid: usize,
+        loc: usize,
+        order: Ordering,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        let mut state = self.enter_step(tid);
+        if order == Ordering::SeqCst {
+            state.sc_pre(tid);
+        }
+        let last = state.locations[loc].stores.len() - 1;
+        state.apply_read(tid, loc, last, is_acquire(order));
+        let old = state.locations[loc].stores[last].value;
+        let prev_release = state.locations[loc].stores[last].release;
+        let release = Self::rmw_release(&state, tid, order, prev_release);
+        state.append_store(tid, loc, f(old), release);
+        if state.log_ops {
+            eprintln!("@{} t{tid} rmw loc={loc} old={old}", state.trace.cursor());
+        }
+        if order == Ordering::SeqCst {
+            state.sc_post(tid);
+        }
+        old
+    }
+
+    /// Release clock carried by an RMW's store part: a release RMW releases
+    /// its own clock, and any RMW continues the release sequence of the
+    /// store it read from (C11 release-sequence rule).
+    fn rmw_release(
+        state: &ExecState,
+        tid: usize,
+        order: Ordering,
+        prev_release: Option<VClock>,
+    ) -> Option<VClock> {
+        if is_release(order) {
+            let mut clock = state.threads[tid].clock;
+            if let Some(prev) = prev_release {
+                clock.join(&prev);
+            }
+            Some(clock)
+        } else {
+            match (prev_release, state.threads[tid].release_fence) {
+                (Some(mut a), Some(b)) => {
+                    a.join(&b);
+                    Some(a)
+                }
+                (Some(a), None) => Some(a),
+                (None, fence) => fence,
+            }
+        }
+    }
+
+    /// Compare-exchange. A successful exchange is an RMW; a failed one is a
+    /// load that (conservatively) observes the newest store. Spurious
+    /// `compare_exchange_weak` failures are not modelled.
+    pub(crate) fn op_cas(
+        &self,
+        tid: usize,
+        loc: usize,
+        expected: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        let mut state = self.enter_step(tid);
+        if success == Ordering::SeqCst || failure == Ordering::SeqCst {
+            state.sc_pre(tid);
+        }
+        let last = state.locations[loc].stores.len() - 1;
+        let old = state.locations[loc].stores[last].value;
+        if old == expected {
+            state.apply_read(tid, loc, last, is_acquire(success));
+            let prev_release = state.locations[loc].stores[last].release;
+            let release = Self::rmw_release(&state, tid, success, prev_release);
+            state.append_store(tid, loc, new, release);
+            if state.log_ops {
+                eprintln!(
+                    "@{} t{tid} cas-ok loc={loc} {old}->{new}",
+                    state.trace.cursor()
+                );
+            }
+            if success == Ordering::SeqCst {
+                state.sc_post(tid);
+            }
+            Ok(old)
+        } else {
+            state.apply_read(tid, loc, last, is_acquire(failure));
+            if state.log_ops {
+                eprintln!(
+                    "@{} t{tid} cas-fail loc={loc} old={old}",
+                    state.trace.cursor()
+                );
+            }
+            if failure == Ordering::SeqCst {
+                state.sc_post(tid);
+            }
+            Err(old)
+        }
+    }
+
+    pub(crate) fn op_fence(&self, tid: usize, order: Ordering) {
+        let mut state = self.enter_step(tid);
+        match order {
+            Ordering::Acquire => {
+                let pending = state.threads[tid].pending_acquire;
+                state.threads[tid].clock.join(&pending);
+            }
+            Ordering::Release => {
+                state.threads[tid].release_fence = Some(state.threads[tid].clock);
+            }
+            Ordering::AcqRel => {
+                let pending = state.threads[tid].pending_acquire;
+                state.threads[tid].clock.join(&pending);
+                state.threads[tid].release_fence = Some(state.threads[tid].clock);
+            }
+            Ordering::SeqCst => {
+                let pending = state.threads[tid].pending_acquire;
+                state.threads[tid].clock.join(&pending);
+                state.sc_pre(tid);
+                state.threads[tid].release_fence = Some(state.threads[tid].clock);
+                state.sc_post(tid);
+            }
+            _ => {
+                self.abort(
+                    state,
+                    format!("stm-model: unsupported fence ordering {order:?}"),
+                );
+            }
+        }
+    }
+
+    /// A spin-loop hint: parks the thread until another thread stores.
+    ///
+    /// A spin represents unbounded waiting, so the caller's coherence floor
+    /// for every location its spin predicate just read ratchets to the
+    /// newest store: on real hardware a thread that waits long enough
+    /// eventually observes the latest value, and without this liveness
+    /// assumption a woken spinner could re-read the same stale store
+    /// forever, which the scheduler would misreport as livelock. Locations
+    /// *not* read by the spin predicate keep their full stale-read choice
+    /// set, so races guarded by the spun-upon flag are still found.
+    pub(crate) fn op_spin(&self, tid: usize) {
+        let mut state = self.enter_blocking(tid);
+        let predicate_locs = std::mem::take(&mut state.threads[tid].reads_since_spin);
+        let mut newer_available = false;
+        for loc in predicate_locs {
+            let newest = state.locations[loc].stores.len() - 1;
+            let floor = state.threads[tid].floors.entry(loc).or_insert(0);
+            if newest > *floor {
+                // The predicate read a stale store whose successor already
+                // exists: re-running the loop can observe it now, so the
+                // thread must not park (no future store may ever come).
+                newer_available = true;
+                *floor = newest;
+            }
+        }
+        if state.log_ops {
+            eprintln!(
+                "@{} t{tid} spin newer={newer_available}",
+                state.trace.cursor()
+            );
+        }
+        if newer_available {
+            return;
+        }
+        let epoch = state.store_epoch;
+        let state = self.block_on(state, tid, Status::Spinning { epoch });
+        drop(state);
+    }
+
+    /// Joins model thread `target`, establishing the join happens-before
+    /// edge.
+    pub(crate) fn op_join(&self, tid: usize, target: usize) {
+        let mut state = self.enter_blocking(tid);
+        if !matches!(state.threads[target].status, Status::Finished) {
+            state = self.block_on(state, tid, Status::Joining { target });
+        }
+        let target_clock = state.threads[target].final_clock;
+        state.threads[tid].clock.join(&target_clock);
+    }
+
+    // ---- thread lifecycle --------------------------------------------
+
+    /// Registers a new model thread spawned by `parent`; the spawn edge
+    /// seeds the child's clock.
+    pub(crate) fn register_thread(&self, parent: usize) -> usize {
+        let mut state = self.lock();
+        Self::abort_check(&state);
+        if state.threads.len() >= MAX_MODEL_THREADS {
+            self.abort(
+                state,
+                format!("stm-model: scenario spawned more than {MAX_MODEL_THREADS} threads"),
+            );
+        }
+        let clock = state.threads[parent].clock;
+        state.threads.push(ThreadState::new(clock));
+        state.threads.len() - 1
+    }
+
+    pub(crate) fn track_os_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.lock().os_handles.push(handle);
+    }
+
+    /// Records that model thread `tid` ran to completion (or unwound on
+    /// abort) and schedules a successor if it was the running thread.
+    pub(crate) fn thread_finished(&self, tid: usize) {
+        let mut state = self.lock();
+        state.threads[tid].status = Status::Finished;
+        state.threads[tid].final_clock = state.threads[tid].clock;
+        state.finished += 1;
+        if state.finished == state.threads.len() {
+            state.done = true;
+        } else if state.current == tid && !state.aborting {
+            let runnable = state.runnable();
+            if runnable.is_empty() {
+                state.aborting = true;
+                if state.panic_payload.is_none() {
+                    state.panic_payload = Some(Box::new(
+                        "stm-model: deadlock — remaining threads are all blocked".to_string(),
+                    ));
+                }
+            } else {
+                let pick = state.pick(&runnable);
+                state.current = pick;
+                state.threads[pick].handed_off = true;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Records a real (non-sentinel) panic from model thread `tid` and
+    /// aborts the execution.
+    pub(crate) fn thread_panicked(&self, tid: usize, payload: Box<dyn Any + Send>) {
+        {
+            let mut state = self.lock();
+            state.aborting = true;
+            if state.panic_payload.is_none() {
+                state.panic_payload = Some(payload);
+            }
+            self.cv.notify_all();
+        }
+        self.thread_finished(tid);
+    }
+
+    /// Blocks the explorer until every model thread has finished, then
+    /// returns `(trace, panic_payload, branch_depth)` and joins the OS
+    /// threads.
+    pub(crate) fn finish(&self) -> (Trace, Option<Box<dyn Any + Send>>, usize) {
+        let mut state = self.lock();
+        while !state.done {
+            state = self
+                .cv
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        let handles = std::mem::take(&mut state.os_handles);
+        let payload = state.panic_payload.take();
+        let trace = std::mem::take(&mut state.trace);
+        let depth = trace.depth();
+        drop(state);
+        for handle in handles {
+            let _ = handle.join();
+        }
+        (trace, payload, depth)
+    }
+}

@@ -1,0 +1,47 @@
+//! Thread-local runtime context linking OS threads to model threads.
+//!
+//! [`crate::model`] installs a context for the main model thread (tid 0);
+//! [`crate::thread::spawn`] installs one in each child. The instrumented
+//! atomics look the context up on every operation; using a model atomic
+//! outside `model()` is a programming error and panics with a clear
+//! message.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::exec::Execution;
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Installs `ctx` for the current OS thread, returning any previous one.
+pub(crate) fn set(ctx: Option<Ctx>) -> Option<Ctx> {
+    CTX.with(|slot| std::mem::replace(&mut *slot.borrow_mut(), ctx))
+}
+
+/// The current model context.
+///
+/// # Panics
+///
+/// Panics when called outside a `stm_model::model(..)` closure.
+pub(crate) fn current() -> Ctx {
+    CTX.with(|slot| {
+        slot.borrow().clone().expect(
+            "stm-model: instrumented atomic used outside stm_model::model(); \
+             model-instrumented code (built with --cfg stm_model) only runs \
+             inside a model() closure on threads spawned via stm_model::thread::spawn",
+        )
+    })
+}
+
+/// Like [`current`], but `None` outside a model run (for `Debug` impls).
+pub(crate) fn try_current() -> Option<Ctx> {
+    CTX.with(|slot| slot.borrow().clone())
+}

@@ -1,0 +1,78 @@
+//! Model-aware thread spawn/join.
+//!
+//! Scenario code uses `stm_model::thread::spawn` instead of
+//! `std::thread::spawn`: the children are real OS threads, but the model
+//! registers them (spawn happens-before edge), schedules them cooperatively,
+//! and `join` both blocks through the scheduler and establishes the join
+//! happens-before edge.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc;
+
+use crate::exec::AbortSentinel;
+use crate::rt::{self, Ctx};
+
+/// Handle to a model thread, returned by [`spawn`].
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: mpsc::Receiver<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Joins the model thread (a blocking schedule point plus a
+    /// happens-before edge from the child's last operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the child panicked; the explorer surfaces the child's
+    /// original panic once the execution unwinds.
+    pub fn join(self) -> T {
+        let ctx = rt::current();
+        ctx.exec.op_join(ctx.tid, self.tid);
+        self.result
+            .try_recv()
+            .expect("stm-model: joined thread panicked")
+    }
+}
+
+/// Spawns a model thread running `f`.
+///
+/// # Panics
+///
+/// Panics when called outside a `model()` closure or when the scenario
+/// exceeds [`crate::MAX_MODEL_THREADS`] threads.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let parent = rt::current();
+    let tid = parent.exec.register_thread(parent.tid);
+    let exec = parent.exec.clone();
+    let (result_tx, result_rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        rt::set(Some(Ctx {
+            exec: exec.clone(),
+            tid,
+        }));
+        let outcome = panic::catch_unwind(AssertUnwindSafe(f));
+        rt::set(None);
+        match outcome {
+            Ok(value) => {
+                let _ = result_tx.send(value);
+                exec.thread_finished(tid);
+            }
+            Err(payload) if payload.is::<AbortSentinel>() => {
+                // Unwound by the scheduler because the execution aborted;
+                // the original cause is already recorded.
+                exec.thread_finished(tid);
+            }
+            Err(payload) => exec.thread_panicked(tid, payload),
+        }
+    });
+    parent.exec.track_os_handle(handle);
+    JoinHandle {
+        tid,
+        result: result_rx,
+    }
+}

@@ -1,0 +1,129 @@
+//! The DFS branch trace.
+//!
+//! Every nondeterministic decision in an execution — which thread runs the
+//! next step, which store a load reads — is a *branch point*. The explorer
+//! records the decision sequence of the current execution; to move to the
+//! next execution it backtracks to the deepest branch with an untried
+//! choice, increments it, and replays the (now shorter) prefix. When no
+//! branch has an untried choice left, the bounded state space is exhausted.
+
+/// One recorded decision.
+#[derive(Clone, Copy, Debug)]
+struct Branch {
+    /// Index of the choice taken in this execution.
+    taken: usize,
+    /// Total number of choices that were available.
+    total: usize,
+}
+
+/// The decision sequence of the execution currently being explored.
+#[derive(Debug, Default)]
+pub struct Trace {
+    branches: Vec<Branch>,
+    cursor: usize,
+}
+
+impl Trace {
+    /// Resets the replay cursor for a fresh execution.
+    pub fn start_execution(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Makes (or replays) a decision among `total` choices and returns the
+    /// index taken. While the cursor is inside the recorded prefix the
+    /// previous decision is replayed; past it, choice `0` is taken and
+    /// recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a replayed branch point offers a different number of
+    /// choices than it did last execution: that means the program under test
+    /// is nondeterministic beyond the model's control (e.g. control flow
+    /// depending on wall-clock time), which would make exploration unsound.
+    pub fn choose(&mut self, total: usize) -> usize {
+        debug_assert!(total > 0, "branch point with no choices");
+        if self.cursor < self.branches.len() {
+            let branch = self.branches[self.cursor];
+            assert_eq!(
+                branch.total, total,
+                "stm-model: nondeterministic replay at branch {} (had {} choices, now {}); \
+                 the closure under test must be deterministic given the schedule",
+                self.cursor, branch.total, total
+            );
+            self.cursor += 1;
+            branch.taken
+        } else {
+            self.branches.push(Branch { taken: 0, total });
+            self.cursor += 1;
+            0
+        }
+    }
+
+    /// Advances to the next unexplored execution. Returns `false` when the
+    /// search space is exhausted.
+    pub fn backtrack(&mut self) -> bool {
+        while let Some(branch) = self.branches.pop() {
+            if branch.taken + 1 < branch.total {
+                self.branches.push(Branch {
+                    taken: branch.taken + 1,
+                    total: branch.total,
+                });
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of recorded branch points in the current execution.
+    pub fn depth(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Current replay/record position (diagnostics).
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_the_full_product() {
+        // Two branch points with 2 and 3 choices: 6 executions.
+        let mut trace = Trace::default();
+        let mut seen = Vec::new();
+        loop {
+            trace.start_execution();
+            let a = trace.choose(2);
+            let b = trace.choose(3);
+            seen.push((a, b));
+            if !trace.backtrack() {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), 6);
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn backtracking_handles_varying_depth() {
+        // The second branch only exists when the first choice is 0.
+        let mut trace = Trace::default();
+        let mut executions = 0;
+        loop {
+            trace.start_execution();
+            if trace.choose(2) == 0 {
+                trace.choose(2);
+            }
+            executions += 1;
+            if !trace.backtrack() {
+                break;
+            }
+        }
+        assert_eq!(executions, 3);
+    }
+}

@@ -5,12 +5,12 @@
 //! time* (time to complete a fixed amount of work — Lee-TM, STAMP). The
 //! driver supports both through [`RunLength`].
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use stm_core::backoff::FastRng;
 use stm_core::stats::{StatsAggregate, TxStats};
+use stm_core::sync::{AtomicBool, AtomicU64, Ordering};
 use stm_core::tm::{ThreadContext, TmAlgorithm};
 
 use crate::placement::{
@@ -240,6 +240,9 @@ where
                     }
                     RunLength::Duration(_) => {
                         let mut op_index = 0u64;
+                        // sync: Relaxed — the stop flag only ends the
+                        // measurement window; the worker's results are
+                        // published by the join, not by this load.
                         while !stop.load(Ordering::Relaxed) {
                             workload.execute(&mut ctx, &mut rng, op_index);
                             executed += 1;
@@ -247,6 +250,8 @@ where
                         }
                     }
                     RunLength::TotalOps(total) => loop {
+                        // sync: Relaxed RMW — indices must be unique
+                        // (atomicity), but no payload rides on the counter.
                         let op_index = shared_ops.fetch_add(1, Ordering::Relaxed);
                         if op_index >= total {
                             break;
@@ -266,6 +271,7 @@ where
             // The main thread is only the timer; the window itself is
             // measured by the workers' clocks below.
             std::thread::sleep(duration);
+            // sync: Relaxed — see the worker-side load above.
             stop.store(true, Ordering::Relaxed);
         }
 
@@ -322,6 +328,7 @@ mod tests {
     use super::*;
     use stm_core::config::HeapConfig;
     use stm_core::naive::NaiveGlobalLockTm;
+    use stm_core::sync::AtomicUsize;
     use stm_core::word::Addr;
 
     struct CounterWorkload {
@@ -428,13 +435,15 @@ mod tests {
     struct SlowStartWorkload {
         inner: CounterWorkload,
         startup_delay: Duration,
-        registered: std::sync::atomic::AtomicUsize,
+        registered: AtomicUsize,
         threads: usize,
         saw_unregistered_peer: AtomicBool,
     }
 
     impl Workload<NaiveGlobalLockTm> for SlowStartWorkload {
         fn execute(&self, ctx: &mut ThreadContext<NaiveGlobalLockTm>, rng: &mut FastRng, op: u64) {
+            // sync: SeqCst — regression test flags; strongest ordering so
+            // the assertion can't be blamed on the counters themselves.
             if self.registered.load(Ordering::SeqCst) != self.threads {
                 self.saw_unregistered_peer.store(true, Ordering::SeqCst);
             }
@@ -449,6 +458,7 @@ mod tests {
             // Stagger the delays so late threads register visibly later, as
             // a slow spawn tail would.
             std::thread::sleep(self.startup_delay * (thread_index as u32));
+            // sync: SeqCst — regression test counter, see execute().
             self.registered.fetch_add(1, Ordering::SeqCst);
         }
     }
@@ -462,7 +472,7 @@ mod tests {
         let workload = SlowStartWorkload {
             inner: CounterWorkload { addr },
             startup_delay,
-            registered: std::sync::atomic::AtomicUsize::new(0),
+            registered: AtomicUsize::new(0),
             threads,
             saw_unregistered_peer: AtomicBool::new(false),
         };
@@ -589,6 +599,7 @@ mod tests {
         );
         assert_eq!(result.operations, 800);
         assert!(
+            // sync: SeqCst — regression test flag, see execute().
             !workload.saw_unregistered_peer.load(Ordering::SeqCst),
             "a worker executed operations before all threads were registered"
         );

@@ -315,7 +315,7 @@ impl TmAlgorithm for SwissTm {
                 if desc.core.shared.abort_requested() {
                     return Err(self.doom(desc, Abort::REMOTE));
                 }
-                std::hint::spin_loop();
+                stm_core::sync::spin_loop();
                 continue;
             }
             let value = self.heap.load(addr);
@@ -326,7 +326,7 @@ impl TmAlgorithm for SwissTm {
             if desc.core.shared.abort_requested() {
                 return Err(self.doom(desc, Abort::REMOTE));
             }
-            std::hint::spin_loop();
+            stm_core::sync::spin_loop();
         };
 
         desc.read_log.push(lock_index, version);
@@ -393,7 +393,7 @@ impl TmAlgorithm for SwissTm {
                             return Err(self.doom(desc, Abort::WRITE_CONFLICT));
                         }
                         Resolution::AbortOther | Resolution::Wait => {
-                            std::hint::spin_loop();
+                            stm_core::sync::spin_loop();
                         }
                     }
                     // Check whether somebody asked *us* to abort while we

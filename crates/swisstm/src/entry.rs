@@ -13,7 +13,7 @@
 //!   Only the transaction holding the corresponding write lock ever locks
 //!   the read lock, so no compare-and-swap is needed.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use stm_core::sync::{AtomicU64, Ordering};
 
 use stm_core::clock::ThreadSlot;
 
@@ -60,6 +60,8 @@ impl StripeEntry {
     /// Current state of the write lock.
     #[inline]
     pub fn write_lock(&self) -> WriteLockState {
+        // sync: Acquire so a transaction that sees an owner tag also sees
+        // that owner's descriptor state (pairs with try_acquire_write).
         match self.w_lock.load(Ordering::Acquire) {
             W_UNLOCKED => WriteLockState::Unlocked,
             tag => WriteLockState::LockedBy(ThreadSlot::new((tag - 1) as usize)),
@@ -69,6 +71,7 @@ impl StripeEntry {
     /// Returns `true` if the write lock is held by `slot`.
     #[inline]
     pub fn is_write_locked_by(&self, slot: ThreadSlot) -> bool {
+        // sync: Acquire, same edge as write_lock().
         self.w_lock.load(Ordering::Acquire) == Self::owner_tag(slot)
     }
 
@@ -80,6 +83,11 @@ impl StripeEntry {
             .compare_exchange(
                 W_UNLOCKED,
                 Self::owner_tag(slot),
+                // sync: AcqRel on success — Acquire orders the new owner
+                // after the previous owner's release, Release publishes the
+                // ownership to conflicting readers/writers; Acquire on
+                // failure because the loser inspects the winner's tag to
+                // pick a contention-management victim.
                 Ordering::AcqRel,
                 Ordering::Acquire,
             )
@@ -89,12 +97,17 @@ impl StripeEntry {
     /// Releases the write lock. Only the owner may call this.
     #[inline]
     pub fn release_write(&self) {
+        // sync: Release so the next acquirer (Acquire CAS) sees the
+        // owner's write-back/rollback stores before the lock reads as free.
         self.w_lock.store(W_UNLOCKED, Ordering::Release);
     }
 
     /// Current state of the read lock.
     #[inline]
     pub fn read_lock(&self) -> ReadLockState {
+        // sync: Acquire pairs with publish_version's Release — a reader
+        // that observes version v also observes the write-back that v
+        // stamps (validation correctness; model-checked in stm-model-tests).
         let raw = self.r_lock.load(Ordering::Acquire);
         if raw & 1 == R_LOCKED {
             ReadLockState::Locked
@@ -107,6 +120,7 @@ impl StripeEntry {
     /// needs to compare two samples for equality regardless of state).
     #[inline]
     pub fn read_lock_raw(&self) -> u64 {
+        // sync: Acquire, same edge as read_lock().
         self.r_lock.load(Ordering::Acquire)
     }
 
@@ -124,6 +138,9 @@ impl StripeEntry {
     /// this; plain stores suffice (paper §3.3).
     #[inline]
     pub fn lock_read(&self) {
+        // sync: Release — only the write-lock owner stores here (no CAS
+        // needed, paper §3.3); Release keeps the lock-read marker ordered
+        // after the owner's prior stores for readers that spin on it.
         self.r_lock.store(R_LOCKED, Ordering::Release);
     }
 
@@ -131,6 +148,8 @@ impl StripeEntry {
     /// commit-time validation fails).
     #[inline]
     pub fn restore_read_version(&self, version: u64) {
+        // sync: Release — restores the pre-commit version; readers that
+        // see it proceed exactly as before the aborted commit.
         self.r_lock.store(version << 1, Ordering::Release);
     }
 
@@ -138,6 +157,8 @@ impl StripeEntry {
     /// thereby unlocks the read lock.
     #[inline]
     pub fn publish_version(&self, version: u64) {
+        // sync: Release publishes the committed write-back before the new
+        // version becomes visible (pairs with read_lock's Acquire).
         self.r_lock.store(version << 1, Ordering::Release);
     }
 

@@ -36,8 +36,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use stm_core::sync::{AtomicU64, Ordering};
 
 use stm_core::clock::{ThreadRegistry, ThreadSlot, TxClock, TxShared};
 use stm_core::cm::{CmHandle, ContentionManager, Resolution, Timid};
@@ -81,6 +82,8 @@ impl OwnedLock {
     /// Raw sample of the lock word.
     #[inline]
     pub fn sample(&self) -> u64 {
+        // sync: Acquire pairs with publish()'s Release — a transaction that
+        // validates against version v also sees the write-back v stamps.
         self.word.load(Ordering::Acquire)
     }
 
@@ -116,6 +119,10 @@ impl OwnedLock {
             .compare_exchange(
                 version << 1,
                 Self::owner_tag(slot),
+                // sync: AcqRel on success — Acquire orders the new owner
+                // after the previous release, Release publishes ownership to
+                // conflicting transactions; Acquire on failure because the
+                // loser decodes the winner's tag for contention management.
                 Ordering::AcqRel,
                 Ordering::Acquire,
             )
@@ -125,12 +132,16 @@ impl OwnedLock {
     /// Releases the lock, restoring `version` (abort path).
     #[inline]
     pub fn restore(&self, version: u64) {
+        // sync: Release — only the owner stores here; the restored version
+        // must not be visible before the owner's rollback stores.
         self.word.store(version << 1, Ordering::Release);
     }
 
     /// Releases the lock, publishing a new `version` (commit path).
     #[inline]
     pub fn publish(&self, version: u64) {
+        // sync: Release publishes the committed write-back before the new
+        // version becomes visible (pairs with sample()'s Acquire).
         self.word.store(version << 1, Ordering::Release);
     }
 }
@@ -482,7 +493,7 @@ impl TmAlgorithm for TinyStm {
                         Resolution::AbortSelf => {
                             return Err(self.doom(desc, Abort::WRITE_CONFLICT));
                         }
-                        Resolution::AbortOther | Resolution::Wait => std::hint::spin_loop(),
+                        Resolution::AbortOther | Resolution::Wait => stm_core::sync::spin_loop(),
                     }
                     if desc.core.shared.abort_requested() {
                         return Err(self.doom(desc, Abort::REMOTE));

@@ -40,8 +40,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use stm_core::sync::{AtomicU64, Ordering};
 
 use stm_core::clock::{ThreadRegistry, ThreadSlot, TxClock, TxShared};
 use stm_core::cm::{CmHandle, ContentionManager, Resolution, Timid};
@@ -85,6 +86,8 @@ impl VersionedLock {
     /// Raw sample of the lock word.
     #[inline]
     pub fn sample(&self) -> u64 {
+        // sync: Acquire pairs with publish()'s Release — a transaction that
+        // validates against version v also sees the write-back v stamps.
         self.word.load(Ordering::Acquire)
     }
 
@@ -114,6 +117,10 @@ impl VersionedLock {
             .compare_exchange(
                 version << 1,
                 Self::owner_tag(slot),
+                // sync: AcqRel on success — Acquire orders the new owner
+                // after the previous release, Release publishes ownership to
+                // conflicting transactions; Acquire on failure because the
+                // loser decodes the winner's tag for contention management.
                 Ordering::AcqRel,
                 Ordering::Acquire,
             )
@@ -123,12 +130,16 @@ impl VersionedLock {
     /// Unlocks, restoring the pre-lock version (commit failed).
     #[inline]
     pub fn restore(&self, version: u64) {
+        // sync: Release — only the owner stores here; the restored version
+        // must not be visible before the owner's rollback stores.
         self.word.store(version << 1, Ordering::Release);
     }
 
     /// Unlocks, publishing a new version (commit succeeded).
     #[inline]
     pub fn publish(&self, version: u64) {
+        // sync: Release publishes the committed write-back before the new
+        // version becomes visible (pairs with sample()'s Acquire).
         self.word.store(version << 1, Ordering::Release);
     }
 }
@@ -348,7 +359,9 @@ impl Tl2 {
                             Resolution::AbortSelf => {
                                 return Err(Abort::WRITE_CONFLICT);
                             }
-                            Resolution::AbortOther | Resolution::Wait => std::hint::spin_loop(),
+                            Resolution::AbortOther | Resolution::Wait => {
+                                stm_core::sync::spin_loop()
+                            }
                         }
                         if desc.core.shared.abort_requested() {
                             return Err(Abort::REMOTE);

@@ -1,0 +1,247 @@
+//! The repo-wide atomics lint.
+//!
+//! Two rules, enforced over every `.rs` file in the workspace on every
+//! `cargo test` run:
+//!
+//! 1. **One gateway.** `std::sync::atomic` / `core::sync::atomic` may only
+//!    be named inside the [`ALLOWLIST`] (the `stm_core::sync` shim and the
+//!    `stm-model` checker that implements its instrumented half). Everything
+//!    else imports atomics through the shim, which is what lets
+//!    `RUSTFLAGS="--cfg stm_model"` swap every atomic in the STMs for a
+//!    model-checked one.
+//! 2. **Justified orderings.** Every `Ordering::Relaxed/Acquire/Release/
+//!    AcqRel/SeqCst` site must carry a `// sync:` comment — on the same
+//!    line, or in the comment block directly above the (possibly
+//!    multi-line) statement cluster it belongs to — saying which
+//!    happens-before edge it provides or why none is needed. This turns the
+//!    prose opacity argument in `stm_core::clock` into a discipline: a
+//!    future PR that weakens an ordering has to rewrite the justification,
+//!    and the model scenarios in `stm-model-tests` are the proof the
+//!    justification appeals to.
+//!
+//! The allowlist lives here and only here, so a newly added crate is
+//! covered by default.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Path prefixes (relative to the workspace root, `/`-separated) where the
+/// rules do not apply. Keep this list as the single source of truth.
+const ALLOWLIST: &[&str] = &[
+    // The gateway itself: re-exports std atomics in production builds.
+    "crates/stm-core/src/sync.rs",
+    // The model checker implements the instrumented atomics; it names std
+    // atomics and uses `Ordering` pervasively as data, not as sites.
+    "crates/stm-model/",
+    // This file, whose test snippets mention the forbidden tokens.
+    "tests/lint_atomics.rs",
+];
+
+/// Directories never scanned.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github"];
+
+const ATOMIC_ORDERINGS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+fn is_comment_line(line: &str) -> bool {
+    let trimmed = line.trim_start();
+    trimmed.starts_with("//")
+}
+
+fn has_atomic_ordering(line: &str) -> bool {
+    // `std::cmp::Ordering` variants (Less/Equal/Greater) don't collide with
+    // the atomic ones, so matching the full `Ordering::<variant>` token is
+    // unambiguous.
+    ATOMIC_ORDERINGS.iter().any(|tok| line.contains(tok))
+}
+
+/// Whether the `Ordering::` use on `lines[idx]` is covered by a `// sync:`
+/// justification: on the line itself, or in the comment block directly
+/// above its statement cluster (consecutive lines that are comments or
+/// other `Ordering::` sites — a multi-line `compare_exchange` needs only
+/// one comment).
+fn is_justified(lines: &[&str], idx: usize) -> bool {
+    if lines[idx].contains("sync:") {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let line = lines[i];
+        if is_comment_line(line) {
+            if line.contains("sync:") {
+                return true;
+            }
+        } else if !has_atomic_ordering(line) {
+            return false;
+        }
+    }
+    false
+}
+
+/// Lints one file's source. `label` is the path used in findings.
+fn lint_source(label: &str, src: &str) -> Vec<String> {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut findings = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if is_comment_line(line) {
+            continue;
+        }
+        let lineno = idx + 1;
+        if line.contains("std::sync::atomic") || line.contains("core::sync::atomic") {
+            findings.push(format!(
+                "{label}:{lineno}: names std/core::sync::atomic outside the \
+                 stm_core::sync shim — import atomics through the shim so the \
+                 model checker can instrument them"
+            ));
+        }
+        if has_atomic_ordering(line) && !is_justified(&lines, idx) {
+            findings.push(format!(
+                "{label}:{lineno}: atomic Ordering:: site without a `// sync:` \
+                 justification comment (same line or the comment block above)"
+            ));
+        }
+    }
+    findings
+}
+
+fn is_allowlisted(rel: &str) -> bool {
+    ALLOWLIST.iter().any(|prefix| rel.starts_with(prefix))
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rust_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn workspace_atomics_are_shimmed_and_justified() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    collect_rust_files(&root, &mut files);
+    assert!(
+        files.len() > 20,
+        "suspiciously few Rust files found ({}) — lint walking is broken",
+        files.len()
+    );
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if is_allowlisted(&rel) {
+            continue;
+        }
+        let src = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("failed to read {}: {e}", path.display()));
+        findings.extend(lint_source(&rel, &src));
+    }
+    assert!(
+        findings.is_empty(),
+        "atomics lint failed:\n{}",
+        findings.join("\n")
+    );
+}
+
+#[test]
+fn lint_catches_a_std_atomic_import() {
+    let bad = "use std::sync::atomic::{AtomicU64, Ordering};\n";
+    let findings = lint_source("bad.rs", bad);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].contains("bad.rs:1"));
+    assert!(findings[0].contains("shim"));
+}
+
+#[test]
+fn lint_catches_an_unjustified_ordering_site() {
+    let bad = "\
+fn f(x: &stm_core::sync::AtomicU64) -> u64 {
+    x.load(Ordering::Acquire)
+}
+";
+    let findings = lint_source("bad.rs", bad);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].contains("bad.rs:2"));
+    assert!(findings[0].contains("sync:"));
+}
+
+#[test]
+fn lint_accepts_justified_sites() {
+    let good = "\
+fn f(x: &stm_core::sync::AtomicU64) -> u64 {
+    // sync: Acquire pairs with the committer's Release publish.
+    x.load(Ordering::Acquire)
+}
+
+fn g(x: &stm_core::sync::AtomicU64) {
+    x.store(1, Ordering::Release); // sync: same-line justification works too
+}
+
+fn cas(x: &stm_core::sync::AtomicU64) {
+    let _ = x.compare_exchange(
+        0,
+        1,
+        // sync: one comment covers the whole multi-line call cluster.
+        Ordering::AcqRel,
+        Ordering::Acquire,
+    );
+}
+";
+    assert_eq!(lint_source("good.rs", good), Vec::<String>::new());
+}
+
+#[test]
+fn lint_ignores_comments_and_unrelated_orderings() {
+    let good = "\
+//! Docs may mention std::sync::atomic and Ordering::SeqCst freely.
+use std::cmp::Ordering;
+
+fn cmp(a: u64, b: u64) -> Ordering {
+    a.cmp(&b) // cmp::Ordering variants are not atomic orderings
+}
+";
+    assert_eq!(lint_source("good.rs", good), Vec::<String>::new());
+}
+
+#[test]
+fn justification_does_not_leak_across_statements() {
+    // The comment block justifies only the statement cluster directly
+    // beneath it: once any other code intervenes, a later site must carry
+    // its own comment. (Directly adjacent Ordering lines do share a
+    // comment — that is what lets one comment cover a multi-line
+    // compare_exchange.)
+    let bad = "\
+fn f(x: &stm_core::sync::AtomicU64) {
+    // sync: Release publishes the payload.
+    x.store(1, Ordering::Release);
+    let y = 1;
+    let _ = x.load(Ordering::Acquire);
+    let _ = y;
+}
+";
+    let findings = lint_source("bad.rs", bad);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].contains("bad.rs:5"));
+}
