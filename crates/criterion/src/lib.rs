@@ -17,6 +17,11 @@
 //!
 //! Command-line filters (positional args) restrict which benchmark IDs run,
 //! matching criterion's substring-filter behaviour.
+//!
+//! When the `STM_BENCH_TIMINGS` environment variable names a file, bench
+//! mode additionally appends one tab-separated `id\tmean_nanos` line per
+//! measured benchmark — the machine-readable feed `repro … --snapshot
+//! --bench-timings` merges into `BENCH_*.json` perf snapshots.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -304,9 +309,31 @@ impl BenchmarkGroup<'_> {
                     format_time(mean),
                     sample.iterations
                 );
+                export_timing(&full_id, mean * 1e9);
             }
             (Mode::Bench, None) => println!("skipped (body never called Bencher::iter)"),
         }
+    }
+}
+
+/// Appends `id\tmean_nanos` to the file named by `STM_BENCH_TIMINGS`, if
+/// set. Export failures only warn: a bench run must never die because a
+/// timings path is unwritable.
+fn export_timing(full_id: &str, mean_nanos: f64) {
+    let Ok(path) = std::env::var("STM_BENCH_TIMINGS") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| writeln!(file, "{full_id}\t{mean_nanos}"));
+    if let Err(error) = appended {
+        eprintln!("warning: cannot append bench timing to '{path}': {error}");
     }
 }
 
@@ -410,5 +437,35 @@ mod tests {
             calls >= 5 * 3,
             "expected at least the sample-size iterations"
         );
+    }
+
+    #[test]
+    fn bench_mode_exports_timings_when_env_var_set() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-timings-test-{}.tsv", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("STM_BENCH_TIMINGS", &path);
+        let mut c = Criterion {
+            mode: Mode::Bench,
+            filters: Vec::new(),
+            executed: 0,
+        };
+        {
+            let mut group = c.benchmark_group("export_group");
+            group.sample_size(2);
+            group.warm_up_time(Duration::from_millis(1));
+            group.measurement_time(Duration::from_millis(20));
+            group.bench_function("timed", |b| b.iter(|| black_box(1 + 1)));
+            group.finish();
+        }
+        std::env::remove_var("STM_BENCH_TIMINGS");
+        let contents = std::fs::read_to_string(&path).expect("timings file must exist");
+        let _ = std::fs::remove_file(&path);
+        let line = contents
+            .lines()
+            .find(|l| l.starts_with("export_group/timed\t"))
+            .expect("expected an export_group/timed line");
+        let mean: f64 = line.split('\t').nth(1).unwrap().parse().unwrap();
+        assert!(mean.is_finite() && mean >= 0.0, "{line}");
     }
 }

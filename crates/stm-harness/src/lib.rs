@@ -13,7 +13,10 @@
 //! two threads), exposed through `repro --check-shapes`. [`contention`]
 //! adds the contention-telemetry profiles (wait/back-off shares, CM
 //! resolution counts, inflicted/received remote aborts), exposed through
-//! `repro contention` and `repro fig9|fig10 --contention`.
+//! `repro contention` and `repro fig9|fig10 --contention`. [`snapshot`]
+//! turns measured sweeps into versioned `BENCH_*.json` perf snapshots and
+//! diffs them under self-regression gates, exposed through
+//! `repro … --snapshot` and `repro bench-diff`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,4 +25,5 @@ pub mod contention;
 pub mod experiments;
 pub mod runner;
 pub mod shapes;
+pub mod snapshot;
 pub mod table;

@@ -13,7 +13,7 @@ use rstm::{Rstm, RstmVariant};
 use stm_core::cm::{CmHandle, Greedy, Polka, Serializer, Timid, TwoPhase};
 use stm_core::config::{ClockMode, HeapConfig, LockTableConfig, StmConfig, TableLayout};
 use stm_core::tm::TmAlgorithm;
-use stm_workloads::driver::{run_workload_placed, RunLength, RunResult, Workload};
+use stm_workloads::driver::{run_workload_spec, RunLength, RunResult, RunSpec, Workload};
 use stm_workloads::lee::{LeeBoard, LeeConfig, LeeWorkload};
 use stm_workloads::placement::PlacementPolicy;
 use stm_workloads::profile::SizeProfile;
@@ -264,6 +264,16 @@ impl Benchmark {
     }
 }
 
+/// The fully threaded run specification for one data point: the driver
+/// records the spec's seed/clock/layout/pin into the [`RunResult`] so every
+/// snapshot point is self-describing.
+fn run_spec(threads: usize, length: RunLength, options: &RunOptions) -> RunSpec {
+    RunSpec::new(threads, length, options.seed)
+        .with_pin(options.pin)
+        .with_clock(options.clock)
+        .with_table_layout(options.table_layout)
+}
+
 fn build_workload_and_run<A>(
     stm: Arc<A>,
     benchmark: &Benchmark,
@@ -281,54 +291,75 @@ where
                 options.seed,
             );
             let workload: Arc<dyn Workload<A>> = Arc::new(Bench7Workload::new(data, *mix));
-            run_workload_placed(
+            run_workload_spec(
                 stm,
                 workload,
-                threads,
-                RunLength::Duration(options.point_duration),
-                options.seed,
-                options.pin,
+                &run_spec(
+                    threads,
+                    RunLength::Duration(options.point_duration),
+                    options,
+                ),
             )
         }
         Benchmark::RbTree(config) => {
             let workload = RbTreeWorkload::setup(&stm, *config, options.seed);
-            run_workload_placed(
+            run_workload_spec(
                 stm,
                 workload,
-                threads,
-                RunLength::Duration(options.point_duration),
-                options.seed,
-                options.pin,
+                &run_spec(
+                    threads,
+                    RunLength::Duration(options.point_duration),
+                    options,
+                ),
             )
         }
         Benchmark::Lee(config) => {
             let workload = LeeWorkload::setup(&stm, *config, options.seed);
-            run_workload_placed(
+            run_workload_spec(
                 stm,
                 workload,
-                threads,
-                RunLength::TotalOps(config.routes as u64),
-                options.seed,
-                options.pin,
+                &run_spec(threads, RunLength::TotalOps(config.routes as u64), options),
             )
         }
         Benchmark::Stamp(app) => {
             let workload = app.build_at(&stm, options.seed, options.profile);
             let ops = app.ops_at(options.profile);
-            run_workload_placed(
+            run_workload_spec(
                 stm,
                 workload,
-                threads,
-                RunLength::TotalOps(ops),
-                options.seed,
-                options.pin,
+                &run_spec(threads, RunLength::TotalOps(ops), options),
             )
         }
     }
 }
 
 /// Runs one data point: `benchmark` on `variant` with `threads` threads.
+///
+/// Every measurement of the harness funnels through here, so this is also
+/// where the perf-snapshot recorder taps in: when armed (see
+/// [`crate::snapshot::arm_recorder`]) the result is additionally captured
+/// as a [`crate::snapshot::SnapshotPoint`].
 pub fn run_point(
+    variant: StmVariant,
+    benchmark: &Benchmark,
+    threads: usize,
+    options: &RunOptions,
+) -> RunResult {
+    let result = run_point_unrecorded(variant, benchmark, threads, options);
+    if crate::snapshot::recorder_armed() {
+        crate::snapshot::record_point(crate::snapshot::SnapshotPoint::from_run(
+            benchmark.label(),
+            variant.label(),
+            threads,
+            options.profile,
+            options.grain_shift,
+            &result,
+        ));
+    }
+    result
+}
+
+fn run_point_unrecorded(
     variant: StmVariant,
     benchmark: &Benchmark,
     threads: usize,

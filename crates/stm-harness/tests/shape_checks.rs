@@ -7,8 +7,9 @@ use std::time::Duration;
 use stm_core::stats::{StatsAggregate, TxStats};
 use stm_harness::runner::RunOptions;
 use stm_harness::shapes::{
-    check_competitive, check_dominates, elapsed_series, run_shape_checks, throughput_series,
-    Direction, SeriesPoint, ShapeReport,
+    check_competitive, check_dominates, check_self_abort_ratio, check_self_throughput,
+    check_self_wait_share, elapsed_series, run_shape_checks, throughput_series, Direction,
+    SeriesPoint, ShapeReport,
 };
 use stm_workloads::driver::RunResult;
 use stm_workloads::placement::{PlacementOutcome, PlacementPolicy};
@@ -30,6 +31,9 @@ fn synthetic_result(commits: u64, millis: u64) -> RunResult {
             cores: 1,
             threads: Vec::new(),
         },
+        seed: 0x5a,
+        clock: stm_core::config::ClockMode::Strict,
+        table_layout: stm_core::config::TableLayout::Flat,
     }
 }
 
@@ -221,6 +225,45 @@ fn competitive_check_passes_and_fails_on_ratio() {
     assert!(message.contains("red-black tree"), "{message}");
     assert!(message.contains("TL2=100.00"), "{message}");
     assert!(message.contains("SwissTM=1000.00"), "{message}");
+}
+
+#[test]
+fn self_throughput_gate_passes_jitter_and_fails_regressions() {
+    let point = "red-black tree × SwissTM × 2 threads";
+    // 10% jitter is inside the default 0.75 tolerance.
+    assert!(check_self_throughput(point, 1000.0, 900.0, 0.75).is_ok());
+    // Improvements always pass.
+    assert!(check_self_throughput(point, 1000.0, 1500.0, 0.75).is_ok());
+    // A 30% drop fails, naming the point and both values.
+    let message = check_self_throughput(point, 1000.0, 700.0, 0.75).unwrap_err();
+    assert!(message.contains(point), "{message}");
+    assert!(message.contains("regressed"), "{message}");
+    assert!(message.contains("70.0% of baseline"), "{message}");
+    // A zero baseline makes the gate vacuous, not failing.
+    let line = check_self_throughput(point, 0.0, 0.0, 0.75).unwrap();
+    assert!(line.contains("skipped"), "{line}");
+}
+
+#[test]
+fn self_wait_share_gate_uses_absolute_slack() {
+    let point = "stmbench7-read-write × TL2 × 4 threads";
+    assert!(check_self_wait_share(point, 0.05, 0.14, 0.10).is_ok());
+    let message = check_self_wait_share(point, 0.05, 0.30, 0.10).unwrap_err();
+    assert!(message.contains(point), "{message}");
+    assert!(message.contains("wait share grew"), "{message}");
+}
+
+#[test]
+fn self_abort_ratio_gate_combines_factor_and_slack() {
+    let point = "lee-main × TinySTM × 8 threads";
+    // Bound = 0.10 * 1.5 + 0.05 = 0.20.
+    assert!(check_self_abort_ratio(point, 0.10, 0.20, 1.5, 0.05).is_ok());
+    let message = check_self_abort_ratio(point, 0.10, 0.25, 1.5, 0.05).unwrap_err();
+    assert!(message.contains(point), "{message}");
+    assert!(message.contains("aborts exceed bound"), "{message}");
+    // Zero baseline: the additive slack still allows rare aborts.
+    assert!(check_self_abort_ratio(point, 0.0, 0.04, 1.5, 0.05).is_ok());
+    assert!(check_self_abort_ratio(point, 0.0, 0.06, 1.5, 0.05).is_err());
 }
 
 #[test]

@@ -9,6 +9,7 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use stm_core::backoff::FastRng;
+use stm_core::config::{ClockMode, TableLayout};
 use stm_core::stats::{StatsAggregate, TxStats};
 use stm_core::sync::{AtomicBool, AtomicU64, Ordering};
 use stm_core::tm::{ThreadContext, TmAlgorithm};
@@ -59,6 +60,62 @@ pub enum RunLength {
     TotalOps(u64),
 }
 
+/// Full specification of one benchmark run: how long it runs, how it is
+/// seeded, and which runtime configuration knobs were active.
+///
+/// `clock` and `table_layout` describe the STM instance the caller built —
+/// the driver records them verbatim into [`RunResult`] so every measured
+/// point is self-describing (the driver itself only sees the instance
+/// through [`TmAlgorithm`] and cannot read its configuration back).
+#[derive(Clone, Copy, Debug)]
+pub struct RunSpec {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// How long the run lasts.
+    pub length: RunLength,
+    /// Seed for the per-thread operation streams.
+    pub seed: u64,
+    /// Thread-placement policy applied to the workers.
+    pub pin: PlacementPolicy,
+    /// Commit-clock mode the STM instance was built with.
+    pub clock: ClockMode,
+    /// Lock-table layout the STM instance was built with.
+    pub table_layout: TableLayout,
+}
+
+impl RunSpec {
+    /// A spec with the default runtime knobs (no pinning, strict clock,
+    /// flat lock table).
+    pub fn new(threads: usize, length: RunLength, seed: u64) -> Self {
+        RunSpec {
+            threads,
+            length,
+            seed,
+            pin: PlacementPolicy::None,
+            clock: ClockMode::Strict,
+            table_layout: TableLayout::Flat,
+        }
+    }
+
+    /// Returns a copy with a different placement policy.
+    pub fn with_pin(mut self, pin: PlacementPolicy) -> Self {
+        self.pin = pin;
+        self
+    }
+
+    /// Returns a copy recording a different commit-clock mode.
+    pub fn with_clock(mut self, clock: ClockMode) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Returns a copy recording a different lock-table layout.
+    pub fn with_table_layout(mut self, table_layout: TableLayout) -> Self {
+        self.table_layout = table_layout;
+        self
+    }
+}
+
 /// Result of one benchmark run.
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -74,6 +131,12 @@ pub struct RunResult {
     /// it was pinned (or why it was not). Pinning is best-effort, so a
     /// degraded placement is recorded here rather than failing the run.
     pub placement: PlacementOutcome,
+    /// Seed the run's operation streams were drawn from ([`RunSpec::seed`]).
+    pub seed: u64,
+    /// Commit-clock mode recorded for this run ([`RunSpec::clock`]).
+    pub clock: ClockMode,
+    /// Lock-table layout recorded for this run ([`RunSpec::table_layout`]).
+    pub table_layout: TableLayout,
 }
 
 impl RunResult {
@@ -144,7 +207,7 @@ where
     A: TmAlgorithm,
     W: Workload<A> + ?Sized + 'static,
 {
-    run_workload_placed(stm, workload, threads, length, seed, PlacementPolicy::None)
+    run_workload_spec(stm, workload, &RunSpec::new(threads, length, seed))
 }
 
 /// [`run_workload`] with an explicit thread-placement policy.
@@ -168,6 +231,29 @@ where
     A: TmAlgorithm,
     W: Workload<A> + ?Sized + 'static,
 {
+    run_workload_spec(
+        stm,
+        workload,
+        &RunSpec::new(threads, length, seed).with_pin(policy),
+    )
+}
+
+/// Runs `workload` under a full [`RunSpec`] and collects statistics.
+///
+/// This is the fully specified entry point the harness uses: besides the
+/// thread count, run length, seed and placement policy, the spec carries
+/// the commit-clock mode and lock-table layout of the STM instance so the
+/// returned [`RunResult`] describes the complete configuration the numbers
+/// were measured under.
+pub fn run_workload_spec<A, W>(stm: Arc<A>, workload: Arc<W>, spec: &RunSpec) -> RunResult
+where
+    A: TmAlgorithm,
+    W: Workload<A> + ?Sized + 'static,
+{
+    let threads = spec.threads;
+    let length = spec.length;
+    let seed = spec.seed;
+    let policy = spec.pin;
     assert!(threads > 0, "at least one thread is required");
     let cores = available_cores();
     let plan = plan_placement(policy, threads, cores);
@@ -320,6 +406,9 @@ where
         elapsed,
         check_passed,
         placement,
+        seed,
+        clock: spec.clock,
+        table_layout: spec.table_layout,
     }
 }
 
@@ -603,6 +692,38 @@ mod tests {
             !workload.saw_unregistered_peer.load(Ordering::SeqCst),
             "a worker executed operations before all threads were registered"
         );
+    }
+
+    /// Every `RunResult` is self-describing: the seed and the runtime
+    /// configuration knobs (clock mode, table layout, placement policy)
+    /// land in the result exactly as specified, so a perf-snapshot point
+    /// built from it can be reproduced without out-of-band context.
+    #[test]
+    fn run_result_records_seed_and_config_knobs() {
+        let (stm, workload) = setup();
+        let result = run_workload(
+            Arc::clone(&stm),
+            Arc::clone(&workload),
+            2,
+            RunLength::OpsPerThread(10),
+            0xfeed,
+        );
+        // The convenience wrapper records the defaults.
+        assert_eq!(result.seed, 0xfeed);
+        assert_eq!(result.clock, ClockMode::Strict);
+        assert_eq!(result.table_layout, TableLayout::Flat);
+        assert_eq!(result.placement.policy, PlacementPolicy::None);
+
+        // A full spec threads every knob through verbatim.
+        let spec = RunSpec::new(2, RunLength::OpsPerThread(10), 77)
+            .with_clock(ClockMode::Deferred)
+            .with_table_layout(TableLayout::PaddedMixed)
+            .with_pin(PlacementPolicy::Compact);
+        let result = run_workload_spec(stm, workload, &spec);
+        assert_eq!(result.seed, 77);
+        assert_eq!(result.clock, ClockMode::Deferred);
+        assert_eq!(result.table_layout, TableLayout::PaddedMixed);
+        assert_eq!(result.placement.policy, PlacementPolicy::Compact);
     }
 
     /// The default entry point never pins: every worker is recorded as
